@@ -1,0 +1,56 @@
+"""Fig. 10: one CS code combined with many IS backgrounds (OCT).
+
+Semantic pervasiveness at the single-code level: the same
+class-associated code injected into 7 different individual backgrounds
+should produce the same class assignment everywhere, with the shared
+class features visible across backgrounds.
+"""
+
+import os
+
+import numpy as np
+
+from common import RESULTS_DIR, format_table, get_context, write_result
+
+DATASET = "oct"
+N_BACKGROUNDS = 7
+N_CS_DONORS = 3
+
+
+def test_fig10_pervasiveness(benchmark):
+    ctx = get_context(DATASET)
+    test = ctx.test_set
+
+    backgrounds = test.images[test.labels == 0][:N_BACKGROUNDS]
+    __, is_codes = ctx.cae.encode(backgrounds)
+
+    rows = []
+    grids = {}
+    for donor_label in (1, 2, 3):
+        donors = test.images[test.labels == donor_label]
+        if len(donors) == 0:
+            continue
+        cs_codes = ctx.cae.encode_class(donors[:N_CS_DONORS])
+        transfer_rates = []
+        for d, cs in enumerate(cs_codes):
+            grid = ctx.cae.decode(np.repeat(cs[None], len(is_codes), axis=0),
+                                  is_codes)
+            pred = ctx.classifier.predict(grid)
+            transfer_rates.append(float((pred == donor_label).mean()))
+            grids[f"class{donor_label}_donor{d}"] = grid
+        rows.append((test.class_names[donor_label],
+                     f"{np.mean(transfer_rates):.1%}"))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    np.savez(os.path.join(RESULTS_DIR, "fig10_oct.npz"),
+             backgrounds=backgrounds, **grids)
+    text = format_table(
+        f"Fig 10 (OCT) — one CS code x {N_BACKGROUNDS} IS backgrounds: "
+        "class-transfer rate",
+        ("CS donor class", "transfer rate"), rows)
+    write_result("fig10_cs_pervasiveness", text)
+
+    # Benchmark decoding one CS code against all backgrounds.
+    cs = ctx.cae.encode_class(test.images[test.labels == 1][:1])
+    benchmark(lambda: ctx.cae.decode(
+        np.repeat(cs, len(is_codes), axis=0), is_codes))

@@ -1,0 +1,31 @@
+"""Fig. 1: local-trap illustration on a 2-D decision surface.
+
+Gradient descent (①) and greedy multi-perturbation walks (②) stall in a
+local basin without crossing the class-flipping border; the globally
+guided path (④⑤) crosses it with a short, direct trajectory.
+"""
+
+from common import format_table, write_result
+
+from repro.eval import trap_demo_2d
+
+
+def test_fig1_trap_demo(benchmark):
+    demo = benchmark(trap_demo_2d)
+
+    rows = []
+    for name, trace in demo.items():
+        rows.append((name,
+                     "yes" if trace.flipped else "no (trapped)",
+                     f"{trace.probs[-1]:.3f}",
+                     f"{trace.length:.2f}"))
+    text = format_table(
+        "Fig 1 — local-trap demo on a 2-D decision surface "
+        "(start prob {:.3f})".format(demo["guided"].probs[0]),
+        ("strategy", "crossed 0.5 border", "final prob", "path length"),
+        rows)
+    write_result("fig1_trap_demo", text)
+
+    assert not demo["gradient"].flipped        # ① trapped
+    assert not demo["greedy_walk"].flipped     # ② trapped
+    assert demo["guided"].flipped              # ④⑤ crosses the border

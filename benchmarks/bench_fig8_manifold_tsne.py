@@ -1,0 +1,84 @@
+"""Fig. 8: t-SNE visualisation of the class-associated manifold.
+
+CAE's CS codes separate classes on both train and test data with
+matching topology; ICAM-reg's attribute codes collapse test data into a
+poorly separated Gaussian-like blob.  We save the 2-D embeddings and
+report a quantitative separation score per panel.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+MAX_POINTS = 120    # exact t-SNE is O(n^2); subsample large code banks
+
+from common import (BENCH_DATASETS, RESULTS_DIR, format_table, get_context,
+                    write_result)
+
+from repro.core.manifold import ClassAssociatedManifold
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_fig8_manifold(dataset, benchmark):
+    ctx = get_context(dataset)
+    train, test = ctx.train_set, ctx.test_set
+
+    def subsample(dataset):
+        if len(dataset) <= MAX_POINTS:
+            return dataset
+        rng = np.random.default_rng(0)
+        return dataset.subset(rng.choice(len(dataset), MAX_POINTS,
+                                         replace=False))
+
+    train_s, test_s = subsample(train), subsample(test)
+    panels = {
+        "cae_train": ClassAssociatedManifold(
+            ctx.cae.encode_class(train_s.images), train_s.labels),
+        "cae_test": ClassAssociatedManifold(
+            ctx.cae.encode_class(test_s.images), test_s.labels),
+        "icam_test": ClassAssociatedManifold(
+            ctx.icam.encode_attribute(test_s.images), test_s.labels),
+    }
+
+    embeddings = {}
+    scores = {}
+    for panel, manifold in panels.items():
+        embeddings[panel] = manifold.project("tsne", seed=0, perplexity=15)
+        scores[panel] = manifold.separation_score()
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    np.savez(os.path.join(RESULTS_DIR, f"fig8_{dataset}.npz"),
+             **{f"{panel}_xy": xy for panel, xy in embeddings.items()},
+             cae_train_labels=train_s.labels, cae_test_labels=test_s.labels,
+             icam_test_labels=test_s.labels)
+
+    _ROWS.append((dataset, f"{scores['cae_train']:.3f}",
+                  f"{scores['cae_test']:.3f}", f"{scores['icam_test']:.3f}"))
+    text = format_table(
+        f"Fig 8 ({dataset}) — manifold class-separation scores "
+        "(higher = better separated)",
+        ("panel", "separation"),
+        [(panel, f"{score:.3f}") for panel, score in scores.items()])
+    write_result(f"fig8_{dataset}", text)
+
+    # Benchmark the projection step itself (PCA for speed).
+    benchmark(lambda: panels["cae_test"].project("pca"))
+
+    # Shape report: the paper has CAE's test manifold better separated.
+    status = "PASS" if scores["cae_test"] >= scores["icam_test"] - 0.05 \
+        else "BELOW"
+    print(f"[shape] {dataset}: cae_test {scores['cae_test']:.3f} vs "
+          f"icam_test {scores['icam_test']:.3f} -> {status}")
+
+
+def test_fig8_summary(benchmark):
+    if not _ROWS:
+        pytest.skip("no per-dataset rows")
+    text = format_table("Fig 8 — separation score summary",
+                        ("dataset", "CAE train", "CAE test", "ICAM test"),
+                        _ROWS)
+    write_result("fig8_summary", text)
+    benchmark(lambda: None)

@@ -1,0 +1,35 @@
+"""Table I: dataset sizes per split (scaled from the paper's counts)."""
+
+from common import BENCH_SCALE, format_table, write_result
+
+from repro.config import TABLE1_COUNTS, TASKS
+from repro.data import make_dataset, table1_counts
+
+
+def test_table1_dataset_inventory(benchmark):
+    rows = []
+    for name in TABLE1_COUNTS:
+        train_counts = table1_counts(name, "train",
+                                     divisor=BENCH_SCALE.train_divisor)
+        test_counts = table1_counts(name, "test",
+                                    divisor=BENCH_SCALE.train_divisor)
+        paper = TABLE1_COUNTS[name]
+        rows.append((
+            name,
+            f"{paper['train_normal']}/{paper['train_abnormal']}",
+            f"{paper['test_normal']}/{paper['test_abnormal']}",
+            f"{train_counts[0]}/{sum(v for k, v in train_counts.items() if k)}",
+            f"{test_counts[0]}/{sum(v for k, v in test_counts.items() if k)}",
+            TASKS[name],
+        ))
+    text = format_table(
+        "Table I — image counts (normal/abnormal), paper vs scaled repro "
+        f"(divisor {BENCH_SCALE.train_divisor})",
+        ("dataset", "paper train", "paper test", "repro train",
+         "repro test", "task"),
+        rows)
+    write_result("table1_datasets", text)
+
+    # Benchmark: generating one small dataset from scratch.
+    benchmark(lambda: make_dataset("brain_tumor1", "train", image_size=32,
+                                   seed=0, counts={0: 8, 1: 8}))

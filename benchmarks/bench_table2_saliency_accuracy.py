@@ -1,0 +1,73 @@
+"""Table II: AOPC and PD of every XAI method on every dataset.
+
+The paper's headline result: CAE's guided counterfactual saliency maps
+degrade the classifier faster (higher AOPC, eq 11) and deeper (higher
+PD, eq 12) than all nine baselines on all five datasets.
+"""
+
+import numpy as np
+import pytest
+
+from common import (BENCH_DATASETS, N_EVAL_IMAGES, N_PATCHES, PATCH,
+                    format_table, get_context, write_result)
+
+from repro.eval import evaluate_methods
+from repro.explain import TABLE2_METHODS
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_table2_dataset(dataset, benchmark):
+    ctx = get_context(dataset)
+    suite = ctx.suite()
+    images, labels, __ = ctx.sample_test_images(N_EVAL_IMAGES,
+                                                abnormal_only=True)
+    curves = evaluate_methods(suite.explainers, ctx.classifier, images,
+                              labels, n_patches=N_PATCHES, patch=PATCH)
+    _RESULTS[dataset] = curves
+
+    rows = [(name,
+             f"{curves[name].aopc:.3f}" if name in curves else "-",
+             f"{curves[name].pd:.3f}" if name in curves else "-")
+            for name in TABLE2_METHODS]
+    text = format_table(
+        f"Table II ({dataset}) — saliency accuracy, {N_EVAL_IMAGES} "
+        f"abnormal test images, {N_PATCHES}x{PATCH}x{PATCH} coverage",
+        ("method", "AOPC", "PD"), rows)
+    write_result(f"table2_{dataset}", text)
+
+    # Benchmark one CAE explanation (the paper's fastest method).
+    cae = suite["cae"]
+    benchmark(lambda: cae.explain(images[0], int(labels[0])))
+
+    # Shape report: the paper has CAE first on every dataset; at this
+    # reduced training scale we report the rank (degradations below 0.05
+    # mean the saturated classifier makes ranks pure noise).
+    aopcs = {name: c.aopc for name, c in curves.items()}
+    order = sorted(aopcs, key=aopcs.get, reverse=True)
+    rank = order.index("cae") + 1
+    regime = "ok" if max(aopcs.values()) >= 0.05 else "degenerate (noise)"
+    print(f"[shape] {dataset}: CAE AOPC rank {rank}/{len(order)}, "
+          f"signal regime: {regime}")
+
+
+def test_table2_summary(benchmark):
+    """Cross-dataset summary table once all datasets have run."""
+    if not _RESULTS:
+        pytest.skip("per-dataset results not computed in this session")
+    headers = ["method"] + [f"{d}\n(AOPC/PD)" for d in _RESULTS]
+    rows = []
+    for name in TABLE2_METHODS:
+        cells = [name]
+        for dataset in _RESULTS:
+            curves = _RESULTS[dataset]
+            if name in curves:
+                cells.append(f"{curves[name].aopc:.3f}/{curves[name].pd:.3f}")
+            else:
+                cells.append("-")
+        rows.append(tuple(cells))
+    text = format_table("Table II — AOPC/PD summary across datasets",
+                        headers, rows)
+    write_result("table2_summary", text)
+    benchmark(lambda: format_table("t", ("a",), [("1",)]))

@@ -1,0 +1,75 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Every benchmark pulls its trained models from a disk-cached
+:class:`~repro.eval.ExperimentContext` (cache dir ``.repro_cache`` at the
+repo root), so the expensive training happens once per dataset across the
+whole ``pytest benchmarks/ --benchmark-only`` run.  Result tables are
+printed and written under ``benchmarks/results/``.
+
+Scale knobs honour ``REPRO_BENCH_DIVISOR`` / ``REPRO_BENCH_ITER`` /
+``REPRO_BENCH_DATASETS`` environment variables for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.config import DATASET_NAMES
+from repro.eval import ExperimentContext, ExperimentScale
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CACHE_DIR = os.path.join(REPO_ROOT, ".repro_cache")
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: Datasets the benchmarks sweep; override with REPRO_BENCH_DATASETS.
+BENCH_DATASETS: Tuple[str, ...] = tuple(
+    os.environ.get("REPRO_BENCH_DATASETS",
+                   ",".join(DATASET_NAMES)).split(","))
+
+BENCH_SCALE = ExperimentScale(
+    image_size=32,
+    train_divisor=int(os.environ.get("REPRO_BENCH_DIVISOR", 100)),
+    classifier_epochs=10,
+    classifier_width=12,
+    cae_iterations=int(os.environ.get("REPRO_BENCH_ITER", 250)),
+    aux_epochs=3,
+    base_channels=8,
+    seed=0,
+)
+
+#: Number of test images evaluated per dataset in Table II / Table V.
+N_EVAL_IMAGES = int(os.environ.get("REPRO_BENCH_IMAGES", 6))
+
+#: Patch-coverage settings: 3x3 patches on 32x32 inputs cover the same
+#: per-patch area fraction as the paper's 7x7 patches on 256x256.
+PATCH = 3
+N_PATCHES = 20
+
+
+@lru_cache(maxsize=None)
+def get_context(dataset: str) -> ExperimentContext:
+    """Cached experiment context for one dataset."""
+    return ExperimentContext(dataset, BENCH_SCALE, cache_dir=CACHE_DIR)
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+    print(f"\n{text}\n[written to {path}]")
+
+
+def format_table(title: str, headers, rows) -> str:
+    """Fixed-width ASCII table matching the paper's table layout."""
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows),
+                                   default=0))
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Pre-train and cache every model the benchmark suite needs.
+
+Run this once before ``pytest benchmarks/ --benchmark-only`` to move all
+training cost out of the benchmark timings; benchmarks will also train
+on demand if the cache is cold.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from common import BENCH_DATASETS, get_context  # noqa: E402
+
+
+def main() -> None:
+    for name in BENCH_DATASETS:
+        start = time.perf_counter()
+        ctx = get_context(name)
+        clf_acc = float((ctx.classifier.predict(ctx.test_set.images)
+                         == ctx.test_set.labels).mean())
+        print(f"[{name}] classifier ready (test acc {clf_acc:.3f}, "
+              f"{time.perf_counter() - start:.0f}s)", flush=True)
+        ctx.cae
+        print(f"[{name}] cae ready ({time.perf_counter() - start:.0f}s)",
+              flush=True)
+        ctx.icam
+        print(f"[{name}] icam ready ({time.perf_counter() - start:.0f}s)",
+              flush=True)
+    print("warmup complete", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Gender-attribute transfer on synthetic face portraits.
+
+The paper's generalisation experiment: on the Human Face dataset, CS
+codes carry gender-associated features (beards, eyebrow thickness, lip
+darkness) while IS codes carry identity (geometry, expression, glasses).
+Swapping CS codes transfers the perceived gender while preserving
+identity — the basis of Table IV's 98.5% swap success on faces.
+
+Usage::
+
+    python examples/face_attribute_transfer.py
+"""
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.classifiers import train_classifier
+from repro.core import train_cae
+from repro.data import make_dataset
+
+
+def main() -> None:
+    print("training on synthetic faces (gender classification) ...")
+    train = make_dataset("face", "train", image_size=32, seed=0,
+                         counts={0: 50, 1: 50})
+    test = make_dataset("face", "test", image_size=32, seed=0,
+                        counts={0: 15, 1: 15})
+    classifier = train_classifier(train, epochs=6, width=12)
+    print(f"gender classifier test accuracy: "
+          f"{(classifier.predict(test.images) == test.labels).mean():.3f}")
+
+    cae = train_cae(train, iterations=200, batch_size=6,
+                    config=ReproConfig(base_channels=8), verbose=True)
+
+    females = test.images[test.labels == 0][:8]
+    males = test.images[test.labels == 1][:8]
+
+    # Swap CS codes in both directions.
+    female_id_male_attr, male_id_female_attr = cae.swap_codes(males, females)
+    # swap_codes(a=males, b=females) returns
+    #   (G(c_female, s_male), G(c_male, s_female)).
+    to_female = female_id_male_attr     # male identity, female attributes
+    to_male = male_id_female_attr       # female identity, male attributes
+
+    pred_to_female = classifier.predict(to_female)
+    pred_to_male = classifier.predict(to_male)
+    print(f"male identity + female CS  -> classified female: "
+          f"{(pred_to_female == 0).mean():.1%}")
+    print(f"female identity + male CS  -> classified male:   "
+          f"{(pred_to_male == 1).mean():.1%}")
+
+    # Identity preservation: the synthetic face stays closer to its IS
+    # donor than to its CS donor.
+    d_identity = np.abs(to_male - females).mean()
+    d_attribute = np.abs(to_male - males).mean()
+    print(f"pixel distance to identity donor:  {d_identity:.4f}")
+    print(f"pixel distance to attribute donor: {d_attribute:.4f}")
+    print("identity preserved!" if d_identity < d_attribute
+          else "identity NOT preserved — train longer")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Knowledge discovery on the OCT class-associated manifold.
+
+Reproduces the paper's Section IV.F.4 exploration: learn the manifold on
+the four-class retinal OCT task, then
+
+* project it to 2-D and measure per-class separation;
+* test the medical-knowledge alignment the paper highlights — DRUSEN
+  sits adjacent to the NORMAL -> CNV transition path (drusen may
+  develop into CNV);
+* drag one normal sample's CS code toward each disease and watch the
+  classifier's probabilities evolve along the path.
+
+Usage::
+
+    python examples/oct_knowledge_discovery.py
+"""
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.classifiers import train_classifier
+from repro.core import train_cae
+from repro.data import make_dataset
+from repro.eval import probe_path
+
+
+def main() -> None:
+    print("training on 4-class synthetic OCT ...")
+    train = make_dataset("oct", "train", image_size=32, seed=0,
+                         counts={0: 30, 1: 30, 2: 30, 3: 30})
+    test = make_dataset("oct", "test", image_size=32, seed=0,
+                        counts={0: 8, 1: 8, 2: 8, 3: 8})
+    classifier = train_classifier(train, epochs=6, width=12)
+    print(f"classifier test accuracy: "
+          f"{(classifier.predict(test.images) == test.labels).mean():.3f}")
+
+    cae = train_cae(train, iterations=200, batch_size=6,
+                    config=ReproConfig(base_channels=8), verbose=True)
+    manifold = cae.build_manifold(train)
+
+    print("\n-- manifold geometry --")
+    print(f"class separation score: {manifold.separation_score():.3f}")
+    xy = manifold.project("pca")
+    for label in manifold.classes:
+        pts = xy[manifold.labels == label]
+        print(f"  {train.class_names[label]:8s} centre "
+              f"({pts[:, 0].mean():+.2f}, {pts[:, 1].mean():+.2f})")
+
+    # Medical-knowledge check: DRUSEN adjacent to the NORMAL->CNV path.
+    normal_c = manifold.centroid(0)
+    cnv_c = manifold.centroid(1)
+    drusen_c = manifold.centroid(3)
+    dme_c = manifold.centroid(2)
+
+    def dist_to_path(point):
+        v = cnv_c - normal_c
+        t = np.clip(np.dot(point - normal_c, v) / np.dot(v, v), 0, 1)
+        return float(np.linalg.norm(point - (normal_c + t * v)))
+
+    print("\n-- distance of disease centroids to the NORMAL->CNV path --")
+    print(f"  DRUSEN: {dist_to_path(drusen_c):.3f}   (paper: adjacent — "
+          "drusen may develop into CNV)")
+    print(f"  DME:    {dist_to_path(dme_c):.3f}")
+
+    # Path exploration from one normal exemplar toward each disease.
+    idx = test.indices_of_class(0)[0]
+    cs, is_code = cae.encode(test.images[idx][None])
+    print("\n-- dragging the exemplar's CS code toward each disease --")
+    for target in (1, 2, 3):
+        probe = probe_path(cae, classifier, cs[0],
+                           manifold.centroid(target), is_code,
+                           target_label=target, steps=8)
+        print(f"  -> {train.class_names[target]:8s} "
+              f"target prob {probe.probs[0]:.3f} -> {probe.probs[-1]:.3f} "
+              f"(monotonicity {probe.monotonicity:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: train a CAE and explain a black-box classifier.
+
+Runs the full pipeline on a small synthetic brain-tumor dataset in a
+couple of minutes on CPU:
+
+1. generate data;
+2. train the black-box classifier;
+3. BBCFE-train the Class Association Embedding;
+4. explain a test image with guided counterfactual generation;
+5. print the saliency map as ASCII art next to the ground-truth lesion.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.classifiers import train_classifier
+from repro.core import train_cae
+from repro.data import make_dataset
+from repro.explain import CAEExplainer
+
+
+def ascii_map(values: np.ndarray, width: int = 2) -> str:
+    """Render a [0, 1] map as ASCII shading."""
+    shades = " .:-=+*#%@"
+    idx = (np.clip(values, 0, 1) * (len(shades) - 1)).astype(int)
+    return "\n".join("".join(shades[v] * width for v in row) for row in idx)
+
+
+def main() -> None:
+    print("1) generating synthetic brain-tumor data ...")
+    train = make_dataset("brain_tumor1", "train", image_size=32, seed=0,
+                         counts={0: 40, 1: 40})
+    test = make_dataset("brain_tumor1", "test", image_size=32, seed=0,
+                        counts={0: 10, 1: 10})
+
+    print("2) training the black-box classifier ...")
+    classifier = train_classifier(train, epochs=6, width=12, verbose=True)
+    accuracy = float((classifier.predict(test.images) == test.labels).mean())
+    print(f"   test accuracy: {accuracy:.3f}")
+
+    print("3) BBCFE-training the Class Association Embedding ...")
+    config = ReproConfig(base_channels=8)
+    cae = train_cae(train, iterations=150, batch_size=6, config=config,
+                    verbose=True)
+
+    print("4) explaining one abnormal test image ...")
+    manifold = cae.build_manifold(train)
+    explainer = CAEExplainer(cae, manifold, classifier, steps=8)
+    idx = test.indices_of_class(1)[0]
+    image, mask = test.images[idx], test.masks[idx]
+    result = explainer.explain(image, 1, target_label=0)
+    print(f"   classifier prob along the guided path: "
+          f"{np.round(result.meta['probs'], 3)}")
+
+    print("\nimage (tumor slice)          saliency (CAE)               "
+          "ground-truth lesion")
+    img_rows = ascii_map(image[0]).split("\n")
+    sal_rows = ascii_map(result.normalized()).split("\n")
+    mask_rows = ascii_map(mask).split("\n")
+    for a, b, c in zip(img_rows, sal_rows, mask_rows):
+        print(f"{a}  {b}  {c}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Accurate Explanation Model for Image
+Classifiers using Class Association Embedding" (ICDE 2024).
+
+Subpackages
+-----------
+* :mod:`repro.nn` — numpy autodiff deep-learning substrate.
+* :mod:`repro.data` — synthetic analogs of the paper's five datasets.
+* :mod:`repro.ml` — random forest / t-SNE / SMOTE / PCA substrate.
+* :mod:`repro.classifiers` — the black-box classifier under explanation.
+* :mod:`repro.core` — Class Association Embedding + BBCFE (the paper's
+  contribution) and the class-associated manifold.
+* :mod:`repro.explain` — the CAE explainer and nine baseline XAI methods.
+* :mod:`repro.eval` — AOPC/PD, separability, re-assignment, smoothness,
+  timing, and trap-demonstration harnesses.
+
+Quickstart
+----------
+>>> from repro.data import make_dataset
+>>> from repro.classifiers import train_classifier
+>>> from repro.core import train_cae
+>>> from repro.explain import CAEExplainer
+>>> train = make_dataset("oct", "train")
+>>> classifier = train_classifier(train, epochs=5)
+>>> cae = train_cae(train, iterations=200)
+>>> explainer = CAEExplainer(cae, cae.build_manifold(train), classifier)
+>>> result = explainer.explain(train.images[0], int(train.labels[0]))
+"""
+
+from .config import DATASET_NAMES, TABLE1_COUNTS, LossWeights, ReproConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproConfig", "LossWeights", "TABLE1_COUNTS", "DATASET_NAMES",
+           "__version__"]

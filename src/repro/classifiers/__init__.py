@@ -1,0 +1,7 @@
+"""``repro.classifiers`` — the black-box image classifier under explanation."""
+
+from .resnet import SmallResNet
+from .train import ClassifierTrainer, TrainHistory, train_classifier
+
+__all__ = ["SmallResNet", "ClassifierTrainer", "TrainHistory",
+           "train_classifier"]

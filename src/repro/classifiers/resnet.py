@@ -1,0 +1,108 @@
+"""The black-box classifier to be explained.
+
+The paper trains a ResNet50 per dataset; at our 32x32 numpy scale we use
+a small residual CNN with the same structural recipe (stem conv, stacked
+residual stages with stride-2 transitions, global average pooling, linear
+head).  The explainers treat it as a black box except where the baseline
+method is intrinsically white-box (Grad-CAM/FullGrad need activations and
+gradients, exactly as they do with ResNet50 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+
+class _BasicBlock(nn.Module):
+    """Residual block with optional stride-2 downsample projection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1,
+                               rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.proj = nn.Conv2d(in_channels, out_channels, 1, stride=stride,
+                                  rng=rng)
+        else:
+            self.proj = None
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.bn1(self.conv1(x)).relu()
+        h = self.bn2(self.conv2(h))
+        skip = x if self.proj is None else self.proj(x)
+        return (h + skip).relu()
+
+
+class SmallResNet(nn.Module):
+    """Residual CNN classifier; our stand-in for the paper's ResNet50.
+
+    Exposes the hooks that white-box baselines need:
+
+    * :meth:`forward_with_features` returns the final conv feature map
+      (for Grad-CAM).
+    * :attr:`bias_parameters` and :meth:`forward_with_all_features`
+      support FullGrad's bias-gradient aggregation.
+    """
+
+    def __init__(self, num_classes: int, in_channels: int = 1,
+                 width: int = 16, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.stem = nn.Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(width)
+        self.stage1 = _BasicBlock(width, width, stride=1, rng=rng)
+        self.stage2 = _BasicBlock(width, width * 2, stride=2, rng=rng)
+        self.stage3 = _BasicBlock(width * 2, width * 4, stride=2, rng=rng)
+        self.head = nn.Linear(width * 4, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        feats = self._features(x)
+        pooled = F.global_avg_pool2d(feats[-1])
+        return self.head(pooled)
+
+    def _features(self, x: nn.Tensor) -> List[nn.Tensor]:
+        h0 = self.stem_bn(self.stem(x)).relu()
+        h1 = self.stage1(h0)
+        h2 = self.stage2(h1)
+        h3 = self.stage3(h2)
+        return [h0, h1, h2, h3]
+
+    def forward_with_features(self, x: nn.Tensor):
+        """Return (logits, last conv feature map) for Grad-CAM."""
+        feats = self._features(x)
+        pooled = F.global_avg_pool2d(feats[-1])
+        return self.head(pooled), feats[-1]
+
+    def forward_with_all_features(self, x: nn.Tensor):
+        """Return (logits, all stage feature maps) for FullGrad."""
+        feats = self._features(x)
+        pooled = F.global_avg_pool2d(feats[-1])
+        return self.head(pooled), feats
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, images: np.ndarray,
+                      batch_size: int = 64) -> np.ndarray:
+        """Black-box inference API: images (N, C, H, W) -> probabilities."""
+        self.eval()
+        outputs = []
+        for start in range(0, len(images), batch_size):
+            batch = nn.Tensor(images[start:start + batch_size])
+            logits = self.forward(batch)
+            outputs.append(F.softmax(logits, axis=-1).data)
+        self.train()
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        return self.predict_proba(images, batch_size).argmax(axis=1)

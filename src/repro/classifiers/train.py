@@ -1,0 +1,81 @@
+"""Training loop for the black-box classifier."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data import DataLoader, ImageDataset, random_horizontal_flip
+from .resnet import SmallResNet
+
+
+@dataclass
+class TrainHistory:
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+    wall_time: float = 0.0
+
+
+class ClassifierTrainer:
+    """Adam training with the paper's augmentation (random horizontal flip)."""
+
+    def __init__(self, model: SmallResNet, lr: float = 1e-3,
+                 weight_decay: float = 1e-4,
+                 rng: Optional[np.random.Generator] = None):
+        self.model = model
+        self.optimizer = nn.Adam(model.parameters(), lr=lr,
+                                 weight_decay=weight_decay)
+        self.rng = rng or np.random.default_rng()
+        self.history = TrainHistory()
+
+    def fit(self, dataset: ImageDataset, epochs: int = 5,
+            batch_size: int = 16, augment: bool = True,
+            verbose: bool = False) -> TrainHistory:
+        loader = DataLoader(
+            dataset, batch_size=batch_size, shuffle=True, rng=self.rng,
+            augment=random_horizontal_flip if augment else None)
+        start = time.perf_counter()
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_losses = []
+            correct = 0
+            seen = 0
+            for images, labels in loader:
+                logits = self.model(nn.Tensor(images))
+                loss = nn.cross_entropy(logits, labels)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                correct += int((logits.data.argmax(axis=1) == labels).sum())
+                seen += len(labels)
+            self.history.losses.append(float(np.mean(epoch_losses)))
+            self.history.accuracies.append(correct / max(seen, 1))
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs} "
+                      f"loss={self.history.losses[-1]:.4f} "
+                      f"acc={self.history.accuracies[-1]:.3f}")
+        self.history.wall_time = time.perf_counter() - start
+        return self.history
+
+    def evaluate(self, dataset: ImageDataset, batch_size: int = 64) -> float:
+        pred = self.model.predict(dataset.images, batch_size)
+        return float((pred == dataset.labels).mean())
+
+
+def train_classifier(dataset: ImageDataset, epochs: int = 5,
+                     width: int = 16, lr: float = 1e-3, seed: int = 0,
+                     verbose: bool = False) -> SmallResNet:
+    """Convenience: build and train a SmallResNet on ``dataset``."""
+    model = SmallResNet(num_classes=dataset.num_classes,
+                        in_channels=dataset.image_shape[0],
+                        width=width, seed=seed)
+    trainer = ClassifierTrainer(model, lr=lr,
+                                rng=np.random.default_rng(seed))
+    trainer.fit(dataset, epochs=epochs, verbose=verbose)
+    model.eval()
+    return model

@@ -1,0 +1,106 @@
+"""Global configuration for the CAE reproduction.
+
+The paper's hyperparameters (Section IV.A) are kept verbatim where scale
+permits (loss weights, 8-d class-associated code, Adam settings); spatial
+scale is reduced from 256x256 to 32x32 so the full pipeline trains on CPU
+with the numpy substrate.  ``REPRO_IMAGE_SIZE`` / ``REPRO_SCALE``
+environment variables override the defaults for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class LossWeights:
+    """Loss weights of eq (7) and eq (10), named as in the paper."""
+
+    lambda1: float = 10.0   # image reconstruction (eq 1)
+    lambda2: float = 1.0    # class-code reconstruction (eq 2)
+    lambda3: float = 1.0    # individual-code reconstruction (eq 3)
+    lambda4: float = 10.0   # cyclic reconstruction (eq 4)
+    lambda5: float = 1.0    # adversarial, generator side (eq 5)
+    lambda6: float = 1.0    # classification, generator side (eq 6)
+    phi1: float = 1.0       # adversarial, discriminator side (eq 8)
+    phi2: float = 2.0       # classification, discriminator side (eq 9)
+
+
+@dataclass
+class ReproConfig:
+    """Bundle of every scale-sensitive knob, with paper values noted."""
+
+    image_size: int = field(
+        default_factory=lambda: _env_int("REPRO_IMAGE_SIZE", 32))
+    channels: int = 1                       # medical sets are grayscale
+    cs_dim: int = 8                         # paper: 8-d class-associated code
+    base_channels: int = field(
+        default_factory=lambda: _env_int("REPRO_BASE_CHANNELS", 16))
+    # paper: IS code is 256 x 64 x 64 (1/4 spatial); ours is base*2 x S/4 x S/4
+    lr: float = 1e-4                        # paper: Adam lr 1e-4
+    weight_decay: float = 1e-4              # paper: weight decay 1e-4
+    loss_weights: LossWeights = field(default_factory=LossWeights)
+    seed: int = 0
+    scale: float = field(
+        default_factory=lambda: _env_float("REPRO_SCALE", 1.0))
+
+    @property
+    def is_channels(self) -> int:
+        return self.base_channels * 2
+
+    @property
+    def is_spatial(self) -> int:
+        return self.image_size // 4
+
+    @property
+    def is_shape(self) -> Tuple[int, int, int]:
+        """Shape of the individual-style code (C, H, W)."""
+        return (self.is_channels, self.is_spatial, self.is_spatial)
+
+
+#: Paper Table I image counts per dataset/split.  The synthetic generators
+#: default to these counts divided by ``TABLE1_DIVISOR`` so the full
+#: pipeline stays CPU-sized, preserving the relative class (im)balance.
+TABLE1_COUNTS: Dict[str, Dict[str, int]] = {
+    "oct": {"train_normal": 8000, "train_abnormal": 24000,
+            "test_normal": 250, "test_abnormal": 750},
+    "brain_tumor1": {"train_normal": 1200, "train_abnormal": 1200,
+                     "test_normal": 300, "test_abnormal": 300},
+    "brain_tumor2": {"train_normal": 710, "train_abnormal": 4398,
+                     "test_normal": 302, "test_abnormal": 1623},
+    "chest_xray": {"train_normal": 1349, "train_abnormal": 3883,
+                   "test_normal": 234, "test_abnormal": 390},
+    "face": {"train_normal": 23243, "train_abnormal": 23766,
+             "test_normal": 5841, "test_abnormal": 5808},
+}
+
+TABLE1_DIVISOR: int = _env_int("REPRO_TABLE1_DIVISOR", 100)
+
+#: Classification task names per dataset, as listed in Table I.
+TASKS: Dict[str, str] = {
+    "oct": "retinal disease",
+    "brain_tumor1": "brain tumor",
+    "brain_tumor2": "brain tumor",
+    "chest_xray": "pneumonia",
+    "face": "gender",
+}
+
+DATASET_NAMES = tuple(TABLE1_COUNTS)
+
+DEFAULT_CONFIG = ReproConfig()

@@ -1,0 +1,21 @@
+"""``repro.core`` — Class Association Embedding, the paper's contribution.
+
+* :class:`CAEModel` — encoder/decoder/discriminator bundle with the
+  encode / decode / swap public API.
+* :class:`CAETrainer` / :func:`train_cae` — BBCFE training.
+* :class:`ClassAssociatedManifold` — the global explanation structure:
+  code bank, guided transition paths, SMOTE resampling, 2-D projection.
+"""
+
+from .bbcfe import PairSampler, StepLosses, bbcfe_step
+from .manifold import ClassAssociatedManifold, TransitionPath
+from .model import CAEModel
+from .networks import Decoder, Discriminator, Encoder
+from .trainer import CAETrainer, CAETrainHistory, train_cae
+
+__all__ = [
+    "CAEModel", "CAETrainer", "CAETrainHistory", "train_cae",
+    "ClassAssociatedManifold", "TransitionPath",
+    "Encoder", "Decoder", "Discriminator",
+    "PairSampler", "StepLosses", "bbcfe_step",
+]

@@ -1,0 +1,199 @@
+"""Building-Block Coherency Feature Extraction (BBCFE) training step.
+
+Section III.C of the paper: random cross-class pairs are encoded, their
+class-associated codes are swapped, and the resulting chimeric samples
+are penalised by the discriminator unless the swap cleanly transfers the
+class.  Over many random pairings this drives class-associated features
+out of the individual (IS) space and into the class (CS) space.
+
+The two-round schema of Fig. 4 is implemented verbatim:
+
+    round 1:  (c_A, s_A), (c_B, s_B)  --swap-->  x'_A = G(c_B, s_A),
+                                                 x'_B = G(c_A, s_B)
+    re-encode: (c'_A, s'_A) = E(x'_A)  with  c'_A ~ c_B,  s'_A ~ s_A
+    round 2:  x''_A = G(c_A, s'_A) ~ x_A   (cycle closure)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..config import LossWeights
+from ..data import ImageDataset
+from . import losses as L
+from .networks import Decoder, Discriminator, Encoder
+
+
+@dataclass
+class StepLosses:
+    """Per-step loss values, keyed like the paper's equations."""
+
+    recon_image: float
+    recon_cs: float
+    recon_is: float
+    cyclic: float
+    adv_gen: float
+    cls_gen: float
+    total_gen: float
+    adv_disc: float
+    cls_disc: float
+    total_disc: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return self.__dict__.copy()
+
+
+class PairSampler:
+    """Yield random cross-class batch pairs (the m x n pairing of BBCFE).
+
+    Multi-class tasks are handled 1-vs-1 as in the paper: each pair draws
+    two distinct classes and samples one image from each.
+    """
+
+    def __init__(self, dataset: ImageDataset,
+                 rng: Optional[np.random.Generator] = None):
+        self.dataset = dataset
+        self.rng = rng or np.random.default_rng()
+        self._by_class = {int(c): dataset.indices_of_class(int(c))
+                          for c in np.unique(dataset.labels)}
+        if len(self._by_class) < 2:
+            raise ValueError("BBCFE needs at least two classes")
+        self.classes = sorted(self._by_class)
+
+    def sample(self, batch_size: int
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (x_A, y_A, x_B, y_B) with y_A[i] != y_B[i] for all i."""
+        idx_a = np.empty(batch_size, dtype=int)
+        idx_b = np.empty(batch_size, dtype=int)
+        for i in range(batch_size):
+            class_a, class_b = self.rng.choice(self.classes, size=2,
+                                               replace=False)
+            idx_a[i] = self.rng.choice(self._by_class[int(class_a)])
+            idx_b[i] = self.rng.choice(self._by_class[int(class_b)])
+        return (self.dataset.images[idx_a], self.dataset.labels[idx_a],
+                self.dataset.images[idx_b], self.dataset.labels[idx_b])
+
+
+def generator_step(encoder: Encoder, decoder: Decoder,
+                   discriminator: Discriminator,
+                   x_a: np.ndarray, y_a: np.ndarray,
+                   x_b: np.ndarray, y_b: np.ndarray,
+                   weights: LossWeights) -> Tuple[nn.Tensor, Dict[str, float]]:
+    """Compute the generator objective of eq (7) for one batch pair.
+
+    Returns the scalar loss tensor (ready for ``backward``) and a dict of
+    detached component values.
+    """
+    ta, tb = nn.Tensor(x_a), nn.Tensor(x_b)
+    cs_a, is_a = encoder(ta)
+    cs_b, is_b = encoder(tb)
+
+    # Eq (1): plain reconstruction of both samples.
+    recon_a = decoder(cs_a, is_a)
+    recon_b = decoder(cs_b, is_b)
+    loss_recon = L.recon_image_loss(recon_a, ta) \
+        + L.recon_image_loss(recon_b, tb)
+
+    # Round-1 swap: synthetic samples with switched class assignments.
+    fake_a = decoder(cs_b, is_a)    # expected class y_B
+    fake_b = decoder(cs_a, is_b)    # expected class y_A
+
+    # Re-encode the synthetic samples.
+    cs_fake_a, is_fake_a = encoder(fake_a)
+    cs_fake_b, is_fake_b = encoder(fake_b)
+
+    # Eq (2): class-code consistency (c'_A ~ c_B, c'_B ~ c_A).
+    loss_cs = L.recon_class_code_loss(cs_fake_a, cs_b) \
+        + L.recon_class_code_loss(cs_fake_b, cs_a)
+    # Eq (3): individual-code consistency (s'_A ~ s_A, s'_B ~ s_B).
+    loss_is = L.recon_individual_code_loss(is_fake_a, is_a) \
+        + L.recon_individual_code_loss(is_fake_b, is_b)
+
+    # Eq (4): round-2 swap-back recovers the originals.
+    cycle_a = decoder(cs_a, is_fake_a)
+    cycle_b = decoder(cs_b, is_fake_b)
+    loss_cyc = L.cyclic_loss(cycle_a, ta) + L.cyclic_loss(cycle_b, tb)
+
+    # Eqs (5) and (6): fool Dr, satisfy Dc with the swapped labels.
+    dr_fake_a, dc_fake_a = discriminator(fake_a)
+    dr_fake_b, dc_fake_b = discriminator(fake_b)
+    loss_adv = L.generator_adversarial_loss(dr_fake_a) \
+        + L.generator_adversarial_loss(dr_fake_b)
+    loss_cls = L.generator_classification_loss(dc_fake_a, y_b) \
+        + L.generator_classification_loss(dc_fake_b, y_a)
+
+    total = (weights.lambda1 * loss_recon + weights.lambda2 * loss_cs
+             + weights.lambda3 * loss_is + weights.lambda4 * loss_cyc
+             + weights.lambda5 * loss_adv + weights.lambda6 * loss_cls)
+    components = {
+        "recon_image": loss_recon.item(), "recon_cs": loss_cs.item(),
+        "recon_is": loss_is.item(), "cyclic": loss_cyc.item(),
+        "adv_gen": loss_adv.item(), "cls_gen": loss_cls.item(),
+        "total_gen": total.item(),
+        "fake_a": fake_a.data, "fake_b": fake_b.data,
+    }
+    return total, components
+
+
+def discriminator_step(discriminator: Discriminator,
+                       x_a: np.ndarray, y_a: np.ndarray,
+                       x_b: np.ndarray, y_b: np.ndarray,
+                       fake_a: np.ndarray, fake_b: np.ndarray,
+                       weights: LossWeights
+                       ) -> Tuple[nn.Tensor, Dict[str, float]]:
+    """Compute the discriminator objective of eq (10) for one batch pair.
+
+    ``fake_*`` are detached synthetic images from the generator step.
+    """
+    dr_fake_a, _ = discriminator(nn.Tensor(fake_a))
+    dr_fake_b, _ = discriminator(nn.Tensor(fake_b))
+    dr_real_a, dc_real_a = discriminator(nn.Tensor(x_a))
+    dr_real_b, dc_real_b = discriminator(nn.Tensor(x_b))
+
+    # Eq (8) in both swap directions.
+    loss_adv = L.discriminator_adversarial_loss(dr_fake_a, dr_real_b) \
+        + L.discriminator_adversarial_loss(dr_fake_b, dr_real_a)
+    # Eq (9) on real images only.
+    loss_cls = L.discriminator_classification_loss(dc_real_a, y_a) \
+        + L.discriminator_classification_loss(dc_real_b, y_b)
+
+    total = weights.phi1 * loss_adv + weights.phi2 * loss_cls
+    return total, {"adv_disc": loss_adv.item(), "cls_disc": loss_cls.item(),
+                   "total_disc": total.item()}
+
+
+def bbcfe_step(encoder: Encoder, decoder: Decoder,
+               discriminator: Discriminator,
+               gen_optimizer: nn.Optimizer, disc_optimizer: nn.Optimizer,
+               sampler: PairSampler, batch_size: int,
+               weights: LossWeights) -> StepLosses:
+    """One full BBCFE iteration: generator update then discriminator update."""
+    x_a, y_a, x_b, y_b = sampler.sample(batch_size)
+
+    gen_loss, parts = generator_step(encoder, decoder, discriminator,
+                                     x_a, y_a, x_b, y_b, weights)
+    encoder.zero_grad()
+    decoder.zero_grad()
+    discriminator.zero_grad()
+    gen_loss.backward()
+    gen_optimizer.step()
+
+    fake_a = parts.pop("fake_a")
+    fake_b = parts.pop("fake_b")
+    disc_loss, disc_parts = discriminator_step(
+        discriminator, x_a, y_a, x_b, y_b, fake_a, fake_b, weights)
+    discriminator.zero_grad()
+    disc_loss.backward()
+    disc_optimizer.step()
+
+    return StepLosses(
+        recon_image=parts["recon_image"], recon_cs=parts["recon_cs"],
+        recon_is=parts["recon_is"], cyclic=parts["cyclic"],
+        adv_gen=parts["adv_gen"], cls_gen=parts["cls_gen"],
+        total_gen=parts["total_gen"], adv_disc=disc_parts["adv_disc"],
+        cls_disc=disc_parts["cls_disc"],
+        total_disc=disc_parts["total_disc"])

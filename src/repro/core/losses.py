@@ -1,0 +1,68 @@
+"""The CAE loss functions, equations (1)-(10) of the paper.
+
+Each function is named after its equation and documented with the
+equation it implements, so the training step in :mod:`repro.core.bbcfe`
+reads one-to-one against Section III.D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+
+def recon_image_loss(decoded: nn.Tensor, original: nn.Tensor) -> nn.Tensor:
+    """Eq (1): ``E[ || G(Ec(x), Es(x)) - x ||_1 ]`` — plain encode-decode
+    reconstruction without any CS swap."""
+    return nn.l1_loss(decoded, original)
+
+
+def recon_class_code_loss(reencoded_cs: nn.Tensor,
+                          original_cs: nn.Tensor) -> nn.Tensor:
+    """Eq (2): ``E[ || Ec(G(c_A, s_B)) - c_A ||_1 ]`` — the class code
+    survives decoding with a foreign individual code.  Together with eq
+    (3) this enforces the homeomorphic (topology-maintaining) property of
+    the embedding."""
+    return nn.l1_loss(reencoded_cs, original_cs)
+
+
+def recon_individual_code_loss(reencoded_is: nn.Tensor,
+                               original_is: nn.Tensor) -> nn.Tensor:
+    """Eq (3): ``E[ || Es(G(c_B, s_A)) - s_A ||_1 ]`` — the individual
+    code survives decoding with a foreign class code."""
+    return nn.l1_loss(reencoded_is, original_is)
+
+
+def cyclic_loss(second_round: nn.Tensor, original: nn.Tensor) -> nn.Tensor:
+    """Eq (4): ``E[ || G(c_A, Es(G(c_B, s_A))) - x_A ||_1 ]`` — the
+    two-round swap cycle recovers the original sample."""
+    return nn.l1_loss(second_round, original)
+
+
+def generator_adversarial_loss(dr_logits_fake: nn.Tensor) -> nn.Tensor:
+    """Eq (5): generator-side adversarial loss; the synthetic sample
+    ``G(c_B, s_A)`` should be scored *real* (index 1) by ``Dr``."""
+    return nn.binary_real_fake_loss(dr_logits_fake, is_real=True)
+
+
+def generator_classification_loss(dc_logits_fake: nn.Tensor,
+                                  target_labels: np.ndarray) -> nn.Tensor:
+    """Eq (6): the synthetic sample must be assigned the *swapped* class
+    ``y_B`` by ``Dc``."""
+    return nn.cross_entropy(dc_logits_fake, target_labels)
+
+
+def discriminator_adversarial_loss(dr_logits_fake: nn.Tensor,
+                                   dr_logits_real: nn.Tensor) -> nn.Tensor:
+    """Eq (8): discriminator-side adversarial loss — fakes scored index 0,
+    reals scored index 1."""
+    return nn.binary_real_fake_loss(dr_logits_fake, is_real=False) \
+        + nn.binary_real_fake_loss(dr_logits_real, is_real=True)
+
+
+def discriminator_classification_loss(dc_logits_real: nn.Tensor,
+                                      labels: np.ndarray) -> nn.Tensor:
+    """Eq (9): ``Dc`` classifies *real* images into their true class (the
+    paper feeds only real images to the classification head)."""
+    return nn.cross_entropy(dc_logits_real, labels)

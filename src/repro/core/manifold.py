@@ -1,0 +1,148 @@
+"""The class-associated manifold: global explanation structure.
+
+After CAE training, every sample's CS code lives in a low-dimensional
+space where classes form separable regions (Section III.E, Fig. 5).
+This module maintains the code bank, plans guided transition paths
+toward counter classes, interpolates codes along paths, resamples the
+manifold with SMOTE, and projects it to 2-D for visualisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml import PCA, TSNE, smote_sample
+
+
+@dataclass
+class TransitionPath:
+    """A guided path in the class-associated space.
+
+    ``codes[0]`` is the exemplar's own CS code; ``codes[-1]`` lies in the
+    counter-class region.  Intermediate codes are linear interpolates
+    ("dragged" codes in the paper's Fig. 11 terminology).
+    """
+
+    codes: np.ndarray            # (steps, cs_dim)
+    source_label: int
+    target_label: int
+
+    @property
+    def steps(self) -> int:
+        return len(self.codes)
+
+
+class ClassAssociatedManifold:
+    """Code bank + path planning over the learned CS space."""
+
+    def __init__(self, codes: np.ndarray, labels: np.ndarray):
+        codes = np.asarray(codes, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(codes) != len(labels):
+            raise ValueError("codes and labels must have equal length")
+        if len(codes) == 0:
+            raise ValueError("manifold needs at least one code")
+        self.codes = codes
+        self.labels = labels
+        self.classes = tuple(int(c) for c in np.unique(labels))
+        self._centroids: Dict[int, np.ndarray] = {
+            c: codes[labels == c].mean(axis=0) for c in self.classes}
+
+    # ------------------------------------------------------------------
+    @property
+    def cs_dim(self) -> int:
+        return self.codes.shape[1]
+
+    def centroid(self, label: int) -> np.ndarray:
+        """Mean CS code of one class region."""
+        return self._centroids[int(label)]
+
+    def codes_of_class(self, label: int) -> np.ndarray:
+        return self.codes[self.labels == int(label)]
+
+    def counter_classes(self, label: int) -> Tuple[int, ...]:
+        return tuple(c for c in self.classes if c != int(label))
+
+    # ------------------------------------------------------------------
+    def nearest_counter_code(self, code: np.ndarray,
+                             target_label: int) -> np.ndarray:
+        """The target-class bank code closest to ``code`` — the "nearly
+        shortest class-flipping path" endpoint the paper credits for
+        skipping local traps."""
+        bank = self.codes_of_class(target_label)
+        d2 = ((bank - code[None]) ** 2).sum(axis=1)
+        return bank[int(d2.argmin())]
+
+    def plan_path(self, code: np.ndarray, source_label: int,
+                  target_label: int, steps: int = 8,
+                  endpoint: str = "nearest") -> TransitionPath:
+        """Plan a guided linear transition path to the counter class.
+
+        ``endpoint`` selects the path destination: ``"nearest"`` (closest
+        counter-class code — default, shortest flip), ``"centroid"``
+        (class centre), or ``"random"`` handled by callers for the
+        unguided ablation.
+        """
+        code = np.asarray(code, dtype=np.float64)
+        if endpoint == "nearest":
+            dest = self.nearest_counter_code(code, target_label)
+        elif endpoint == "centroid":
+            dest = self.centroid(target_label)
+        else:
+            raise ValueError(f"unknown endpoint strategy {endpoint!r}")
+        t = np.linspace(0.0, 1.0, steps)[:, None]
+        codes = code[None] * (1 - t) + dest[None] * t
+        return TransitionPath(codes, int(source_label), int(target_label))
+
+    def interpolate(self, code_from: np.ndarray, code_to: np.ndarray,
+                    steps: int = 8) -> np.ndarray:
+        """Evenly-spaced linear interpolation between two CS codes."""
+        t = np.linspace(0.0, 1.0, steps)[:, None]
+        return np.asarray(code_from)[None] * (1 - t) \
+            + np.asarray(code_to)[None] * t
+
+    # ------------------------------------------------------------------
+    def smote_codes(self, label: int, n_samples: int, k: int = 5,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """SMOTE-resample new codes on the class-``label`` manifold
+        contour (Section IV.F.3)."""
+        return smote_sample(self.codes_of_class(label), n_samples, k=k,
+                            rng=rng)
+
+    # ------------------------------------------------------------------
+    def project(self, method: str = "pca", extra_codes: Optional[np.ndarray] = None,
+                seed: int = 0, perplexity: float = 20.0) -> np.ndarray:
+        """Project the bank (plus optional extra codes) to 2-D.
+
+        Returns an array of shape (n_bank [+ n_extra], 2).
+        """
+        stack = self.codes if extra_codes is None else \
+            np.vstack([self.codes, np.asarray(extra_codes)])
+        if method == "pca":
+            return PCA(2).fit_transform(stack)
+        if method == "tsne":
+            return TSNE(n_components=2, perplexity=perplexity,
+                        seed=seed).fit_transform(stack)
+        raise ValueError(f"unknown projection method {method!r}")
+
+    # ------------------------------------------------------------------
+    def separation_score(self) -> float:
+        """Silhouette-style class-separation score in [-1, 1].
+
+        Mean over samples of (nearest-other-centroid distance − own
+        centroid distance) / max of the two; positive means classes are
+        separated.  Used to compare CAE vs ICAM manifolds quantitatively
+        alongside the Fig. 8 visualisation.
+        """
+        scores = []
+        for code, label in zip(self.codes, self.labels):
+            own = np.linalg.norm(code - self.centroid(int(label)))
+            others = [np.linalg.norm(code - self.centroid(c))
+                      for c in self.counter_classes(int(label))]
+            nearest = min(others)
+            denom = max(own, nearest, 1e-12)
+            scores.append((nearest - own) / denom)
+        return float(np.mean(scores))

@@ -1,0 +1,142 @@
+"""High-level CAE model API: encode, decode, swap, synthesize, persist."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..config import ReproConfig
+from ..data import ImageDataset
+from .manifold import ClassAssociatedManifold
+from .networks import Decoder, Discriminator, Encoder
+
+
+class CAEModel:
+    """Class Association Embedding model (encoder + decoder + discriminator).
+
+    The public surface used by explainers and benchmarks:
+
+    * :meth:`encode` / :meth:`encode_class` / :meth:`encode_individual`
+    * :meth:`decode` — decode arbitrary (CS, IS) combinations
+    * :meth:`swap_codes` — BBCFE-style cross-sample recombination
+    * :meth:`build_manifold` — CS code bank for a dataset
+    * :meth:`save` / :meth:`load`
+    """
+
+    def __init__(self, num_classes: int, config: Optional[ReproConfig] = None):
+        self.config = config or ReproConfig()
+        cfg = self.config
+        self.num_classes = num_classes
+        self.encoder = Encoder(cfg.channels, cfg.base_channels, cfg.cs_dim,
+                               cfg.image_size, seed=cfg.seed)
+        self.decoder = Decoder(cfg.channels, cfg.base_channels, cfg.cs_dim,
+                               cfg.image_size, seed=cfg.seed + 1)
+        self.discriminator = Discriminator(cfg.channels, cfg.base_channels,
+                                           num_classes, seed=cfg.seed + 2)
+
+    # ------------------------------------------------------------------
+    def eval(self) -> "CAEModel":
+        self.encoder.eval()
+        self.decoder.eval()
+        self.discriminator.eval()
+        return self
+
+    def train(self) -> "CAEModel":
+        self.encoder.train()
+        self.decoder.train()
+        self.discriminator.train()
+        return self
+
+    # ------------------------------------------------------------------
+    def encode(self, images: np.ndarray,
+               batch_size: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode images into (CS codes, IS codes) numpy arrays."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 3:
+            images = images[None]
+        cs_out, is_out = [], []
+        for start in range(0, len(images), batch_size):
+            cs, is_code = self.encoder(nn.Tensor(images[start:start + batch_size]))
+            cs_out.append(cs.data)
+            is_out.append(is_code.data)
+        return np.concatenate(cs_out), np.concatenate(is_out)
+
+    def encode_class(self, images: np.ndarray) -> np.ndarray:
+        """``Ec``: CS codes only."""
+        return self.encode(images)[0]
+
+    def encode_individual(self, images: np.ndarray) -> np.ndarray:
+        """``Es``: IS codes only."""
+        return self.encode(images)[1]
+
+    def decode(self, cs_codes: np.ndarray, is_codes: np.ndarray,
+               batch_size: int = 64) -> np.ndarray:
+        """Decode (CS, IS) code combinations into images.
+
+        Broadcasting: a single IS code may be paired with many CS codes
+        and vice versa.
+        """
+        cs_codes = np.asarray(cs_codes, dtype=np.float64)
+        is_codes = np.asarray(is_codes, dtype=np.float64)
+        if cs_codes.ndim == 1:
+            cs_codes = cs_codes[None]
+        if is_codes.ndim == 3:
+            is_codes = is_codes[None]
+        if len(cs_codes) == 1 and len(is_codes) > 1:
+            cs_codes = np.repeat(cs_codes, len(is_codes), axis=0)
+        if len(is_codes) == 1 and len(cs_codes) > 1:
+            is_codes = np.repeat(is_codes, len(cs_codes), axis=0)
+        outputs = []
+        for start in range(0, len(cs_codes), batch_size):
+            img = self.decoder(nn.Tensor(cs_codes[start:start + batch_size]),
+                               nn.Tensor(is_codes[start:start + batch_size]))
+            outputs.append(img.data)
+        return np.concatenate(outputs)
+
+    def reconstruct(self, images: np.ndarray) -> np.ndarray:
+        """Encode-decode round trip without code manipulation."""
+        cs, is_codes = self.encode(images)
+        return self.decode(cs, is_codes)
+
+    def swap_codes(self, images_a: np.ndarray,
+                   images_b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Swap CS codes between two image batches.
+
+        Returns ``(G(c_B, s_A), G(c_A, s_B))`` — each output keeps one
+        batch's individual style with the other's class features.
+        """
+        cs_a, is_a = self.encode(images_a)
+        cs_b, is_b = self.encode(images_b)
+        return self.decode(cs_b, is_a), self.decode(cs_a, is_b)
+
+    # ------------------------------------------------------------------
+    def build_manifold(self, dataset: ImageDataset) -> ClassAssociatedManifold:
+        """Encode a dataset's CS codes into a manifold object."""
+        codes = self.encode_class(dataset.images)
+        return ClassAssociatedManifold(codes, dataset.labels)
+
+    # ------------------------------------------------------------------
+    def discriminator_class_proba(self, images: np.ndarray) -> np.ndarray:
+        """Class probabilities from the Dc head (used in training checks)."""
+        from ..nn import functional as F
+        _, dc = self.discriminator(nn.Tensor(np.asarray(images)))
+        return F.softmax(dc, axis=-1).data
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist all three networks under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        nn.save_state(self.encoder, os.path.join(directory, "encoder.npz"))
+        nn.save_state(self.decoder, os.path.join(directory, "decoder.npz"))
+        nn.save_state(self.discriminator,
+                      os.path.join(directory, "discriminator.npz"))
+
+    def load(self, directory: str) -> "CAEModel":
+        nn.load_state(self.encoder, os.path.join(directory, "encoder.npz"))
+        nn.load_state(self.decoder, os.path.join(directory, "decoder.npz"))
+        nn.load_state(self.discriminator,
+                      os.path.join(directory, "discriminator.npz"))
+        return self

@@ -1,0 +1,131 @@
+"""CAE networks: paired-code encoder, decoder, and two-head discriminator.
+
+Follows Section III.B of the paper (Fig. 2):
+
+* One **encoder** with a shared trunk and two heads — ``Ec`` produces the
+  class-associated (CS) code, a low-dimensional vector (8-d by default,
+  matching the paper), and ``Es`` produces the individual-style (IS)
+  code, a spatial tensor at 1/4 resolution (the paper uses 256x64x64 for
+  256x256 inputs; we keep the same 1/4 ratio).  The shared trunk realises
+  the paper's "shared latent layers in the encoded network" through which
+  features penalised out of the IS space migrate into the CS space.
+* A **decoder** ``G(c, s)`` that combines any CS/IS pair into an image,
+  conditioning on the CS code via FiLM-style feature modulation plus a
+  broadcast concatenation.
+* A **discriminator** with a real/fake head ``Dr`` and a class head
+  ``Dc`` computed from a shared convolutional body (the paper notes the
+  target black-box classifier could also serve as ``Dc``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+
+class Encoder(nn.Module):
+    """Shared-trunk encoder producing (CS code, IS code)."""
+
+    def __init__(self, in_channels: int = 1, base_channels: int = 16,
+                 cs_dim: int = 8, image_size: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.cs_dim = cs_dim
+        self.image_size = image_size
+        # Shared trunk: full res -> 1/2 res.
+        self.trunk_conv = nn.Conv2d(in_channels, c, 3, padding=1, rng=rng)
+        self.trunk_norm = nn.InstanceNorm2d(c)
+        self.trunk_down = nn.DownBlock(c, c * 2, rng=rng)          # 1/2
+        # IS head: 1/2 -> 1/4, keeps spatial structure.
+        self.is_down = nn.DownBlock(c * 2, c * 2, rng=rng)         # 1/4
+        self.is_res = nn.ResidualBlock(c * 2, rng=rng)
+        # CS head: 1/2 -> 1/4 -> 1/8 -> pooled vector.
+        self.cs_down1 = nn.DownBlock(c * 2, c * 2, rng=rng)        # 1/4
+        self.cs_down2 = nn.DownBlock(c * 2, c * 4, rng=rng)        # 1/8
+        self.cs_fc = nn.Linear(c * 4, cs_dim, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Return ``(cs_code, is_code)`` for a batch of images."""
+        h = self.trunk_norm(self.trunk_conv(x)).leaky_relu(0.2)
+        h = self.trunk_down(h)
+        is_code = self.is_res(self.is_down(h))
+        g = self.cs_down2(self.cs_down1(h))
+        cs_code = self.cs_fc(F.global_avg_pool2d(g))
+        return cs_code, is_code
+
+    def encode_class(self, x: nn.Tensor) -> nn.Tensor:
+        """``Ec``: class-associated code only."""
+        return self.forward(x)[0]
+
+    def encode_individual(self, x: nn.Tensor) -> nn.Tensor:
+        """``Es``: individual-style code only."""
+        return self.forward(x)[1]
+
+
+class Decoder(nn.Module):
+    """Decoder ``G(c, s)``: IS spatial code modulated by the CS vector.
+
+    The CS code enters twice: as FiLM scale/shift on the fused features
+    (strong, spatially-uniform class conditioning — suitable because
+    class-associated patterns must be *pervasive*, i.e. transferable to
+    any background) and as a broadcast plane concatenated to the IS code
+    (letting early layers route class evidence spatially).
+    """
+
+    def __init__(self, out_channels: int = 1, base_channels: int = 16,
+                 cs_dim: int = 8, image_size: int = 32, seed: int = 1):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.cs_dim = cs_dim
+        self.fuse = nn.Conv2d(c * 2 + cs_dim, c * 2, 3, padding=1, rng=rng)
+        self.fuse_norm = nn.InstanceNorm2d(c * 2)
+        self.film = nn.Linear(cs_dim, c * 4, rng=rng)   # per-channel (γ, β)
+        self.res = nn.ResidualBlock(c * 2, rng=rng)
+        self.up1 = nn.UpBlock(c * 2, c * 2, rng=rng)    # 1/4 -> 1/2
+        self.up2 = nn.UpBlock(c * 2, c, rng=rng)        # 1/2 -> full
+        self.out_conv = nn.Conv2d(c, out_channels, 3, padding=1, rng=rng)
+
+    def forward(self, cs_code: nn.Tensor, is_code: nn.Tensor) -> nn.Tensor:
+        n, _, h, w = is_code.shape
+        plane = cs_code.reshape(n, self.cs_dim, 1, 1)
+        ones = nn.Tensor(np.ones((n, self.cs_dim, h, w)))
+        plane = plane * ones                           # broadcast to spatial
+        fused = nn.Tensor.concat([is_code, plane], axis=1)
+        fused = self.fuse_norm(self.fuse(fused)).relu()
+
+        film = self.film(cs_code)                      # (N, 2C)
+        c2 = fused.shape[1]
+        gamma = film[:, :c2].reshape(n, c2, 1, 1)
+        beta = film[:, c2:].reshape(n, c2, 1, 1)
+        fused = fused * (gamma + 1.0) + beta
+
+        out = self.up2(self.up1(self.res(fused)))
+        return self.out_conv(out).sigmoid()
+
+
+class Discriminator(nn.Module):
+    """Shared-body discriminator with real/fake (Dr) and class (Dc) heads."""
+
+    def __init__(self, in_channels: int = 1, base_channels: int = 16,
+                 num_classes: int = 2, seed: int = 2):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        self.num_classes = num_classes
+        self.down1 = nn.DownBlock(in_channels, c, rng=rng, norm=False)
+        self.down2 = nn.DownBlock(c, c * 2, rng=rng)
+        self.down3 = nn.DownBlock(c * 2, c * 4, rng=rng)
+        self.real_head = nn.Linear(c * 4, 2, rng=rng)
+        self.class_head = nn.Linear(c * 4, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Return ``(Dr logits, Dc logits)``."""
+        h = self.down3(self.down2(self.down1(x)))
+        pooled = F.global_avg_pool2d(h)
+        return self.real_head(pooled), self.class_head(pooled)

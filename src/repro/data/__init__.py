@@ -1,0 +1,21 @@
+"""``repro.data`` — synthetic analogs of the paper's five image datasets.
+
+The paper evaluates on OCT, two brain-MRI corpora, chest X-rays and a
+face dataset, none of which are downloadable here.  Each generator
+composes an *individual* background (IS factors) with *class-associated*
+patterns (CS factors), which is precisely the structure CAE is designed
+to separate — and returns ground-truth lesion masks that the real
+datasets lack.
+"""
+
+from .base import DataLoader, ImageDataset, Sample, train_test_split
+from .registry import load_pair, make_dataset, table1_counts
+from .transforms import (center_crop, random_horizontal_flip, resize_bilinear,
+                         resize_nearest, to_unit_range)
+
+__all__ = [
+    "ImageDataset", "Sample", "DataLoader", "train_test_split",
+    "make_dataset", "load_pair", "table1_counts",
+    "center_crop", "resize_nearest", "resize_bilinear",
+    "random_horizontal_flip", "to_unit_range",
+]

@@ -1,0 +1,130 @@
+"""Dataset containers and batching utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Sample:
+    """One image with its label and optional ground-truth lesion mask.
+
+    The synthetic generators know exactly which pixels carry
+    class-associated evidence; exposing that mask enables localisation
+    scoring that the paper's real datasets cannot provide.
+    """
+
+    image: np.ndarray            # (C, H, W) float in [0, 1]
+    label: int
+    mask: Optional[np.ndarray] = None   # (H, W) float in [0, 1], or None
+    meta: dict = field(default_factory=dict)
+
+
+class ImageDataset:
+    """In-memory image classification dataset (NCHW float arrays)."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 masks: Optional[np.ndarray] = None,
+                 class_names: Optional[Sequence[str]] = None,
+                 name: str = "dataset"):
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError("images must be (N, C, H, W)")
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) != len(images):
+            raise ValueError("labels length must match images")
+        if masks is not None and len(masks) != len(images):
+            raise ValueError("masks length must match images")
+        self.images = images
+        self.labels = labels
+        self.masks = masks
+        self.class_names = list(class_names) if class_names else \
+            [str(c) for c in np.unique(labels)]
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Sample:
+        mask = self.masks[index] if self.masks is not None else None
+        return Sample(self.images[index], int(self.labels[index]), mask)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    # ------------------------------------------------------------------
+    def indices_of_class(self, label: int) -> np.ndarray:
+        return np.where(self.labels == label)[0]
+
+    def subset(self, indices) -> "ImageDataset":
+        indices = np.asarray(indices)
+        masks = self.masks[indices] if self.masks is not None else None
+        return ImageDataset(self.images[indices], self.labels[indices],
+                            masks, self.class_names, self.name)
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and augmentation hook.
+
+    The augmentation hook receives and returns a (B, C, H, W) array; the
+    paper uses a random horizontal flip with probability 0.5.
+    """
+
+    def __init__(self, dataset: ImageDataset, batch_size: int = 8,
+                 shuffle: bool = True,
+                 rng: Optional[np.random.Generator] = None,
+                 augment=None, drop_last: bool = False):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        self.augment = augment
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.augment is not None:
+                images = self.augment(images, self.rng)
+            yield images, labels
+
+
+def train_test_split(dataset: ImageDataset, test_fraction: float = 0.2,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[ImageDataset, ImageDataset]:
+    """Stratified split preserving per-class proportions."""
+    rng = rng or np.random.default_rng()
+    train_idx: List[int] = []
+    test_idx: List[int] = []
+    for label in np.unique(dataset.labels):
+        idx = dataset.indices_of_class(int(label))
+        idx = idx[rng.permutation(len(idx))]
+        cut = max(1, int(round(len(idx) * test_fraction)))
+        test_idx.extend(idx[:cut])
+        train_idx.extend(idx[cut:])
+    return dataset.subset(train_idx), dataset.subset(test_idx)

@@ -1,0 +1,103 @@
+"""Synthetic brain-MRI tumor datasets (paper: Br35H and BraTS-derived).
+
+Two binary datasets, as in the paper:
+
+* ``brain_tumor1`` (Br35H analog) — balanced, brighter T1-like contrast.
+* ``brain_tumor2`` (BraTS analog) — imbalanced (many more tumor scans),
+  T2-like contrast with stronger texture and a darker tumor rim.
+
+Individual factors: skull size/eccentricity/rotation, ventricle geometry,
+cortical texture.  Class-associated factor: a tumor mass (bright core
+with ring enhancement) at a random in-brain location, plus mild midline
+shift for large tumors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from . import painting as P
+
+CLASS_NAMES = ("NO_TUMOR", "TUMOR")
+
+
+def _individual(rng: np.random.Generator, size: int) -> Dict:
+    return {
+        "cy": size * rng.uniform(0.46, 0.54),
+        "cx": size * rng.uniform(0.46, 0.54),
+        "ry": size * rng.uniform(0.34, 0.42),
+        "rx": size * rng.uniform(0.28, 0.36),
+        "angle": rng.uniform(-0.25, 0.25),
+        "vent_gap": size * rng.uniform(0.04, 0.08),
+        "vent_size": size * rng.uniform(0.05, 0.09),
+        "texture_seed": rng.integers(0, 2 ** 31),
+        "brightness": rng.uniform(0.55, 0.75),
+    }
+
+
+def render(ind: Dict, label: int, rng: np.random.Generator, size: int,
+           variant: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+    """Render one axial brain slice and its tumor mask.
+
+    ``variant`` selects the acquisition style (1 = Br35H-like,
+    2 = BraTS-like).
+    """
+    brain = P.ellipse_mask(size, ind["cy"], ind["cx"], ind["ry"], ind["rx"],
+                           angle=ind["angle"])
+    skull = P.ellipse_mask(size, ind["cy"], ind["cx"],
+                           ind["ry"] * 1.12, ind["rx"] * 1.12,
+                           angle=ind["angle"])
+    image = 0.95 * np.clip(skull - brain * 0.75, 0, 1)  # bright skull rim
+    image += ind["brightness"] * brain
+
+    # Ventricles: paired dark crescents near the centre (individual).
+    for side in (-1, 1):
+        vent = P.gaussian_blob(size, ind["cy"],
+                               ind["cx"] + side * ind["vent_gap"],
+                               ind["vent_size"], ind["vent_size"] * 0.45,
+                               angle=side * 0.5)
+        image -= 0.5 * vent * brain
+
+    mask = np.zeros((size, size))
+    if label == 1:
+        # Tumor placed inside the brain, off-centre.
+        theta = rng.uniform(0, 2 * np.pi)
+        rad = rng.uniform(0.35, 0.75)
+        t_cy = ind["cy"] + rad * ind["ry"] * 0.7 * np.sin(theta)
+        t_cx = ind["cx"] + rad * ind["rx"] * 0.7 * np.cos(theta)
+        t_r = size * rng.uniform(0.05, 0.11)
+        core = P.gaussian_blob(size, t_cy, t_cx, t_r, t_r * rng.uniform(0.8, 1.2),
+                               angle=rng.uniform(0, np.pi))
+        ring = P.gaussian_blob(size, t_cy, t_cx, t_r * 1.5, t_r * 1.5) - core
+        if variant == 1:
+            image += (0.8 * core + 0.25 * np.clip(ring, 0, 1)) * brain
+        else:
+            # T2-like: bright core, dark rim.
+            image += (0.9 * core - 0.35 * np.clip(ring, 0, 1)) * brain
+        mask = (core > 0.3).astype(float) * (brain > 0.1)
+
+    tex_rng = np.random.default_rng(ind["texture_seed"])
+    tex_amp = 0.06 if variant == 1 else 0.12
+    image += tex_amp * P.smooth_noise(size, tex_rng, scale=3) * brain
+    image += 0.03 * tex_rng.standard_normal((size, size))
+    if variant == 2:
+        image *= 0.9  # darker field of view
+    return P.normalize01(image), mask
+
+
+def generate(counts: Dict[int, int], size: int, rng: np.random.Generator,
+             variant: int = 1
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate ``counts[label]`` images per class; returns (X, y, masks)."""
+    images, labels, masks = [], [], []
+    for label, n in counts.items():
+        for _ in range(n):
+            ind = _individual(rng, size)
+            img, msk = render(ind, label, rng, size, variant=variant)
+            images.append(img[None])
+            labels.append(label)
+            masks.append(msk)
+    return (np.stack(images), np.asarray(labels, dtype=np.int64),
+            np.stack(masks))

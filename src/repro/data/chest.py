@@ -1,0 +1,101 @@
+"""Synthetic chest X-ray dataset (paper: Kermany pediatric CXR).
+
+Binary task: 0 ``NORMAL`` vs 1 ``PNEUMONIA``.
+
+Individual factors: thorax width, lung field geometry, rib spacing/count,
+heart-shadow size, exposure.  Class-associated factor: pneumonia rendered
+as cloud-like patchy high-density shadows inside the lung fields (the
+paper's Fig. 9 description), possibly multifocal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from . import painting as P
+
+CLASS_NAMES = ("NORMAL", "PNEUMONIA")
+
+
+def _individual(rng: np.random.Generator, size: int) -> Dict:
+    return {
+        "lung_ry": size * rng.uniform(0.28, 0.36),
+        "lung_rx": size * rng.uniform(0.14, 0.19),
+        "lung_gap": size * rng.uniform(0.20, 0.26),
+        "cy": size * rng.uniform(0.48, 0.56),
+        "rib_count": int(rng.integers(4, 7)),
+        "rib_phase": rng.uniform(0, 1),
+        "heart_r": size * rng.uniform(0.10, 0.15),
+        "exposure": rng.uniform(0.55, 0.75),
+        "texture_seed": rng.integers(0, 2 ** 31),
+    }
+
+
+def render(ind: Dict, label: int, rng: np.random.Generator,
+           size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Render one frontal CXR and its opacity mask."""
+    cx = size / 2
+    image = np.full((size, size), ind["exposure"])
+
+    lungs = np.zeros((size, size))
+    for side in (-1, 1):
+        lung = P.ellipse_mask(size, ind["cy"],
+                              cx + side * ind["lung_gap"] / 1.15,
+                              ind["lung_ry"], ind["lung_rx"],
+                              angle=side * 0.12)
+        lungs = np.maximum(lungs, lung)
+    image -= 0.45 * lungs  # aerated lungs are dark
+
+    # Ribs: bright bands crossing the thorax (individual).
+    for k in range(ind["rib_count"]):
+        frac = (k + ind["rib_phase"]) / ind["rib_count"]
+        y = ind["cy"] - ind["lung_ry"] + 2 * ind["lung_ry"] * frac
+        curve = P.wavy_line(size, y, size * 0.03, 0.5, np.pi)
+        image += 0.10 * P.horizontal_band(size, curve, size * 0.012)
+
+    # Heart shadow (individual): bright mass at lower-centre-left.
+    heart = P.gaussian_blob(size, ind["cy"] + ind["lung_ry"] * 0.45,
+                            cx + size * 0.05,
+                            ind["heart_r"], ind["heart_r"] * 1.2)
+    image += 0.30 * heart
+
+    mask = np.zeros((size, size))
+    if label == 1:
+        # Pneumonia: 1-3 cloudy consolidations confined to lung fields.
+        n_foci = rng.integers(1, 4)
+        for _ in range(n_foci):
+            side = rng.choice((-1, 1))
+            f_cy = ind["cy"] + rng.uniform(-0.5, 0.6) * ind["lung_ry"]
+            f_cx = cx + side * ind["lung_gap"] / 1.15 \
+                + rng.uniform(-0.4, 0.4) * ind["lung_rx"]
+            r = size * rng.uniform(0.05, 0.10)
+            cloud = P.gaussian_blob(size, f_cy, f_cx, r, r * rng.uniform(0.8, 1.4),
+                                    angle=rng.uniform(0, np.pi))
+            patchy_rng = np.random.default_rng(rng.integers(0, 2 ** 31))
+            cloud = cloud * (0.7 + 0.5 * P.smooth_noise(size, patchy_rng, 2))
+            cloud = np.clip(cloud, 0, 1) * lungs
+            image += 0.55 * cloud
+            mask = np.maximum(mask, (cloud > 0.2).astype(float))
+
+    tex_rng = np.random.default_rng(ind["texture_seed"])
+    image += 0.05 * P.smooth_noise(size, tex_rng, scale=4)
+    image += 0.03 * tex_rng.standard_normal((size, size))
+    image *= P.vignette(size, 0.12)
+    return P.normalize01(image), mask
+
+
+def generate(counts: Dict[int, int], size: int, rng: np.random.Generator
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate ``counts[label]`` images per class; returns (X, y, masks)."""
+    images, labels, masks = [], [], []
+    for label, n in counts.items():
+        for _ in range(n):
+            ind = _individual(rng, size)
+            img, msk = render(ind, label, rng, size)
+            images.append(img[None])
+            labels.append(label)
+            masks.append(msk)
+    return (np.stack(images), np.asarray(labels, dtype=np.int64),
+            np.stack(masks))

@@ -1,0 +1,142 @@
+"""Synthetic face dataset for gender classification (paper: Kaggle
+gender-classification faces).
+
+Binary task matching the paper's convention: 0 ``FEMALE``, 1 ``MALE``.
+
+Individual factors (IS): face outline geometry, eye spacing/size, nose
+length, skin tone, expression (mouth curvature), background shade — the
+"outline of the face, background, and glasses" the paper lists as
+class-irrelevant.  Class-associated factors (CS): beard/moustache shading
+and thicker, longer eyebrows for male; darker fuller lips (lipstick),
+eye-shadow and longer hair shading for female — the "moustaches and
+lipstick" the paper lists as class-relevant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from . import painting as P
+
+CLASS_NAMES = ("FEMALE", "MALE")
+
+
+def _individual(rng: np.random.Generator, size: int) -> Dict:
+    return {
+        "cy": size * rng.uniform(0.48, 0.55),
+        "cx": size * rng.uniform(0.47, 0.53),
+        "ry": size * rng.uniform(0.30, 0.38),
+        "rx": size * rng.uniform(0.24, 0.30),
+        "eye_gap": rng.uniform(0.38, 0.5),
+        "eye_size": rng.uniform(0.05, 0.075),
+        "nose_len": rng.uniform(0.18, 0.28),
+        "mouth_curve": rng.uniform(-0.2, 0.35),
+        "skin": rng.uniform(0.55, 0.8),
+        "background": rng.uniform(0.1, 0.35),
+        "glasses": rng.random() < 0.25,
+        "texture_seed": rng.integers(0, 2 ** 31),
+    }
+
+
+def render(ind: Dict, label: int, rng: np.random.Generator,
+           size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Render one face portrait and its gender-feature mask."""
+    image = np.full((size, size), ind["background"])
+    mask = np.zeros((size, size))
+    cy, cx = ind["cy"], ind["cx"]
+    ry, rx = ind["ry"], ind["rx"]
+
+    face = P.ellipse_mask(size, cy, cx, ry, rx)
+    image = image * (1 - face) + ind["skin"] * face
+
+    eye_y = cy - 0.25 * ry
+    eye_dx = ind["eye_gap"] * rx
+    eye_r = ind["eye_size"] * size
+    for side in (-1, 1):
+        eye = P.gaussian_blob(size, eye_y, cx + side * eye_dx,
+                              eye_r * 0.6, eye_r)
+        image -= 0.5 * eye
+        # Eyebrows: thickness is the class cue; position is individual.
+        brow_y = eye_y - eye_r * 1.8
+        brow_th = (2.2 if label == 1 else 1.0) * size / 64 + 0.4
+        brow_len = (1.5 if label == 1 else 1.1) * eye_r
+        brow = P.stroke(size, brow_y, cx + side * eye_dx - brow_len,
+                        brow_y - side * 0.5, cx + side * eye_dx + brow_len,
+                        thickness=brow_th, intensity=0.45)
+        image -= brow
+        mask = np.maximum(mask, (brow > 0.1).astype(float))
+        if label == 0:
+            # Female: eye shadow above the eyes.
+            shadow = P.gaussian_blob(size, eye_y - eye_r, cx + side * eye_dx,
+                                     eye_r * 0.7, eye_r * 1.1)
+            image -= 0.18 * shadow
+            mask = np.maximum(mask, (shadow > 0.35).astype(float))
+
+    # Nose (individual): faint vertical stroke.
+    nose = P.stroke(size, eye_y + eye_r, cx, cy + ind["nose_len"] * ry, cx,
+                    thickness=size / 64 + 0.3, intensity=0.12)
+    image -= nose
+
+    # Mouth: curvature individual, darkness/fullness class-associated.
+    mouth_y = cy + 0.55 * ry
+    mouth_w = 0.45 * rx
+    lip_th = (2.0 if label == 0 else 1.1) * size / 64 + 0.5
+    lip_dark = 0.45 if label == 0 else 0.22
+    curve_off = ind["mouth_curve"] * eye_r
+    mouth = np.maximum(
+        P.stroke(size, mouth_y, cx - mouth_w, mouth_y - curve_off, cx,
+                 thickness=lip_th, intensity=lip_dark),
+        P.stroke(size, mouth_y - curve_off, cx, mouth_y, cx + mouth_w,
+                 thickness=lip_th, intensity=lip_dark))
+    image -= mouth
+    mask = np.maximum(mask, (mouth > 0.1).astype(float))
+
+    if label == 1:
+        # Male: beard/moustache shading on chin and upper lip.
+        chin = P.ellipse_mask(size, cy + 0.75 * ry, cx, 0.30 * ry, 0.55 * rx)
+        tache = P.ellipse_mask(size, mouth_y - 0.12 * ry, cx,
+                               0.07 * ry, 0.4 * rx)
+        beard_rng = np.random.default_rng(rng.integers(0, 2 ** 31))
+        stubble = 0.6 + 0.4 * P.smooth_noise(size, beard_rng, 2)
+        beard = np.clip(np.maximum(chin, tache) * stubble, 0, 1) * face
+        image -= 0.30 * beard
+        mask = np.maximum(mask, (beard > 0.15).astype(float))
+    else:
+        # Female: longer hair shading framing the face.
+        hair = P.ellipse_mask(size, cy - 0.05 * ry, cx, ry * 1.25, rx * 1.35) \
+            - P.ellipse_mask(size, cy, cx, ry * 1.02, rx * 1.02)
+        hair = np.clip(hair, 0, 1)
+        hair[: int(cy - ry * 0.9), :] *= 1.0   # crown kept
+        image = image * (1 - 0.6 * hair) + 0.12 * hair
+        mask = np.maximum(mask, (hair > 0.3).astype(float))
+
+    if ind["glasses"]:
+        # Glasses are individual (class-irrelevant), per the paper.
+        for side in (-1, 1):
+            rim = P.ellipse_mask(size, eye_y, cx + side * eye_dx,
+                                 eye_r * 1.5, eye_r * 1.5) \
+                - P.ellipse_mask(size, eye_y, cx + side * eye_dx,
+                                 eye_r * 1.2, eye_r * 1.2)
+            image -= 0.25 * np.clip(rim, 0, 1)
+
+    tex_rng = np.random.default_rng(ind["texture_seed"])
+    image += 0.03 * P.smooth_noise(size, tex_rng, scale=4)
+    image += 0.02 * tex_rng.standard_normal((size, size))
+    return P.normalize01(image), mask
+
+
+def generate(counts: Dict[int, int], size: int, rng: np.random.Generator
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate ``counts[label]`` images per class; returns (X, y, masks)."""
+    images, labels, masks = [], [], []
+    for label, n in counts.items():
+        for _ in range(n):
+            ind = _individual(rng, size)
+            img, msk = render(ind, label, rng, size)
+            images.append(img[None])
+            labels.append(label)
+            masks.append(msk)
+    return (np.stack(images), np.asarray(labels, dtype=np.int64),
+            np.stack(masks))

@@ -1,0 +1,133 @@
+"""Synthetic retinal OCT dataset (paper: Kermany et al. OCT).
+
+Class structure mirrors the real dataset used in the paper:
+
+* 0 ``NORMAL``  — layered retina, no lesion.
+* 1 ``CNV``     — choroidal neovascularisation: a bright irregular mass
+  under the retina that lifts and distorts the layers ("wavy texture").
+* 2 ``DME``     — diabetic macular edema: dark intraretinal cystic voids.
+* 3 ``DRUSEN``  — small bumpy deposits on the retinal pigment epithelium.
+
+Each image is composed of an *individual* background (retina position,
+curvature, layer thicknesses, speckle texture — the IS factors) and a
+*class-associated* lesion pattern (the CS factors), with the lesion
+footprint returned as a ground-truth mask.  Medically, DRUSEN may develop
+into CNV; the generators share the "bump" motif between those two classes
+(drusen bumps are small CNV-like elevations) so a faithful class manifold
+should place DRUSEN between NORMAL and CNV, as Fig. 8 of the paper
+observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import painting as P
+
+CLASS_NAMES = ("NORMAL", "CNV", "DME", "DRUSEN")
+
+
+def _individual(rng: np.random.Generator, size: int) -> Dict:
+    """Sample the IS factors: retina geometry and texture."""
+    return {
+        "base_y": size * rng.uniform(0.40, 0.60),
+        "curve_amp": size * rng.uniform(0.02, 0.08),
+        "curve_freq": rng.uniform(0.6, 1.4),
+        "curve_phase": rng.uniform(0, 2 * np.pi),
+        "layer_gap": size * rng.uniform(0.05, 0.09),
+        "thickness": size * rng.uniform(0.018, 0.032),
+        "brightness": rng.uniform(0.75, 1.0),
+        "texture_seed": rng.integers(0, 2 ** 31),
+        "tilt": rng.uniform(-0.08, 0.08),
+    }
+
+
+def _retina_centerline(ind: Dict, size: int) -> np.ndarray:
+    line = P.wavy_line(size, ind["base_y"], ind["curve_amp"],
+                       ind["curve_freq"], ind["curve_phase"])
+    return line + ind["tilt"] * (np.arange(size) - size / 2)
+
+
+def render(ind: Dict, label: int, rng: np.random.Generator,
+           size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Render one OCT B-scan and its lesion mask."""
+    center = _retina_centerline(ind, size)
+    image = np.zeros((size, size))
+    mask = np.zeros((size, size))
+
+    lesion_cx = size * rng.uniform(0.3, 0.7)
+
+    # Lesion-induced geometry change: CNV lifts the layers locally.
+    deform = np.zeros(size)
+    if label == 1:  # CNV elevates the retina over the lesion
+        bump_w = size * rng.uniform(0.12, 0.22)
+        x = np.arange(size)
+        deform = -size * rng.uniform(0.06, 0.12) * np.exp(
+            -0.5 * ((x - lesion_cx) / bump_w) ** 2)
+
+    # Three retinal layers following the (possibly deformed) centre line.
+    for k, gain in enumerate((1.0, 0.8, 0.9)):
+        line = center + deform + (k - 1) * ind["layer_gap"]
+        image += P.horizontal_band(size, line, ind["thickness"],
+                                   intensity=gain * ind["brightness"])
+
+    # Class-associated lesion patterns.
+    if label == 1:  # CNV: bright sub-retinal mass
+        ry = size * rng.uniform(0.05, 0.09)
+        rx = size * rng.uniform(0.09, 0.16)
+        cy = float(np.interp(lesion_cx, np.arange(size), center)) \
+            + ind["layer_gap"] * 1.2
+        blob = P.gaussian_blob(size, cy, lesion_cx, ry, rx,
+                               angle=rng.uniform(-0.4, 0.4))
+        image += 0.9 * blob
+        mask = np.maximum(mask, (blob > 0.25).astype(float))
+        # CNV also appears where the deformation is (the wavy lift).
+        mask = np.maximum(mask, (np.abs(deform)[None, :]
+                                 * P.horizontal_band(
+                                     size, center + deform,
+                                     ind["layer_gap"]) > 1.0).astype(float))
+    elif label == 2:  # DME: dark cystic voids inside the layers
+        n_cysts = rng.integers(2, 5)
+        for _ in range(n_cysts):
+            cx = size * rng.uniform(0.25, 0.75)
+            cy = float(np.interp(cx, np.arange(size), center)) \
+                + rng.uniform(-0.5, 0.5) * ind["layer_gap"]
+            r = size * rng.uniform(0.025, 0.05)
+            void = P.gaussian_blob(size, cy, cx, r, r * rng.uniform(1.0, 1.6))
+            image -= 1.1 * void * ind["brightness"]
+            mask = np.maximum(mask, (void > 0.3).astype(float))
+    elif label == 3:  # DRUSEN: small bumps under the bottom layer
+        n_bumps = rng.integers(3, 7)
+        for i in range(n_bumps):
+            cx = size * rng.uniform(0.2, 0.8)
+            cy = float(np.interp(cx, np.arange(size), center)) \
+                + ind["layer_gap"]
+            r = size * rng.uniform(0.015, 0.03)
+            bump = P.gaussian_blob(size, cy, cx, r, r)
+            image += 0.7 * bump
+            mask = np.maximum(mask, (bump > 0.35).astype(float))
+
+    # Speckle texture and acquisition noise (individual factors).
+    tex_rng = np.random.default_rng(ind["texture_seed"])
+    image += 0.10 * P.smooth_noise(size, tex_rng, scale=2)
+    image += 0.04 * tex_rng.standard_normal((size, size))
+    image *= P.vignette(size, 0.15)
+    return P.normalize01(image), mask
+
+
+def generate(counts: Dict[int, int], size: int,
+             rng: np.random.Generator
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate ``counts[label]`` images per class; returns (X, y, masks)."""
+    images, labels, masks = [], [], []
+    for label, n in counts.items():
+        for _ in range(n):
+            ind = _individual(rng, size)
+            img, msk = render(ind, label, rng, size)
+            images.append(img[None])
+            labels.append(label)
+            masks.append(msk)
+    return (np.stack(images), np.asarray(labels, dtype=np.int64),
+            np.stack(masks))

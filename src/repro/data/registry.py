@@ -1,0 +1,91 @@
+"""Dataset factory replicating the paper's Table I corpus (scaled).
+
+``make_dataset(name, split)`` returns an :class:`ImageDataset` whose class
+counts follow Table I divided by :data:`repro.config.TABLE1_DIVISOR`
+(default 100), preserving each dataset's class imbalance.  Pass explicit
+``counts`` to override.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import DATASET_NAMES, TABLE1_COUNTS, TABLE1_DIVISOR
+from . import brain, chest, face, oct as oct_mod
+from .base import ImageDataset
+
+_GENERATORS = {
+    "oct": (oct_mod.generate, oct_mod.CLASS_NAMES),
+    "brain_tumor1": (lambda c, s, r: brain.generate(c, s, r, variant=1),
+                     brain.CLASS_NAMES),
+    "brain_tumor2": (lambda c, s, r: brain.generate(c, s, r, variant=2),
+                     brain.CLASS_NAMES),
+    "chest_xray": (chest.generate, chest.CLASS_NAMES),
+    "face": (face.generate, face.CLASS_NAMES),
+}
+
+
+def table1_counts(name: str, split: str,
+                  divisor: Optional[int] = None,
+                  min_per_class: int = 4) -> Dict[int, int]:
+    """Per-class image counts for a dataset split, scaled from Table I.
+
+    Abnormal counts are split evenly across abnormal sub-classes (OCT has
+    three: CNV/DME/DRUSEN; the others have one).
+    """
+    if name not in TABLE1_COUNTS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    divisor = divisor or TABLE1_DIVISOR
+    row = TABLE1_COUNTS[name]
+    normal = max(min_per_class, row[f"{split}_normal"] // divisor)
+    abnormal_total = max(min_per_class, row[f"{split}_abnormal"] // divisor)
+    __, class_names = _GENERATORS[name]
+    n_abnormal_classes = len(class_names) - 1
+    per = max(max(2, min_per_class // 2),
+              abnormal_total // n_abnormal_classes)
+    counts = {0: normal}
+    for k in range(1, n_abnormal_classes + 1):
+        counts[k] = per
+    return counts
+
+
+def make_dataset(name: str, split: str = "train", image_size: int = 32,
+                 seed: int = 0, counts: Optional[Dict[int, int]] = None,
+                 divisor: Optional[int] = None,
+                 min_per_class: int = 4) -> ImageDataset:
+    """Build a synthetic dataset analog for one of the paper's five corpora.
+
+    Parameters
+    ----------
+    name:
+        One of ``oct``, ``brain_tumor1``, ``brain_tumor2``, ``chest_xray``,
+        ``face``.
+    split:
+        ``train`` or ``test``; affects the default counts and the seed so
+        the two splits are disjoint samples of the same distribution.
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if split not in ("train", "test"):
+        raise ValueError("split must be 'train' or 'test'")
+    generator, class_names = _GENERATORS[name]
+    if counts is None:
+        counts = table1_counts(name, split, divisor, min_per_class)
+    # Distinct stream per (dataset, split, seed).
+    stream = np.random.default_rng(
+        abs(hash((name, split, seed))) % (2 ** 32))
+    images, labels, masks = generator(counts, image_size, stream)
+    order = stream.permutation(len(images))
+    return ImageDataset(images[order], labels[order], masks[order],
+                        class_names=class_names, name=f"{name}-{split}")
+
+
+def load_pair(name: str, image_size: int = 32, seed: int = 0,
+              divisor: Optional[int] = None
+              ) -> Tuple[ImageDataset, ImageDataset]:
+    """Convenience: (train, test) datasets for ``name``."""
+    train = make_dataset(name, "train", image_size, seed, divisor=divisor)
+    test = make_dataset(name, "test", image_size, seed, divisor=divisor)
+    return train, test

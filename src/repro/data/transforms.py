@@ -1,0 +1,60 @@
+"""Image preprocessing and augmentation.
+
+The paper's pipeline: center-crop to square, resize to the working
+resolution, random horizontal flip with probability 0.5 during training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Center-crop NCHW images to ``size`` x ``size``."""
+    __, __, h, w = images.shape
+    if h < size or w < size:
+        raise ValueError(f"cannot crop {h}x{w} to {size}x{size}")
+    top = (h - size) // 2
+    left = (w - size) // 2
+    return images[:, :, top:top + size, left:left + size]
+
+
+def resize_nearest(images: np.ndarray, size: int) -> np.ndarray:
+    """Nearest-neighbour resize of NCHW images to ``size`` x ``size``."""
+    __, __, h, w = images.shape
+    rows = (np.arange(size) * h / size).astype(int).clip(0, h - 1)
+    cols = (np.arange(size) * w / size).astype(int).clip(0, w - 1)
+    return images[:, :, rows][:, :, :, cols]
+
+
+def resize_bilinear(images: np.ndarray, size: int) -> np.ndarray:
+    """Bilinear resize of NCHW images (used when upscaling saliency maps)."""
+    n, c, h, w = images.shape
+    ys = np.linspace(0, h - 1, size)
+    xs = np.linspace(0, w - 1, size)
+    y0 = np.floor(ys).astype(int).clip(0, h - 2)
+    x0 = np.floor(xs).astype(int).clip(0, w - 2)
+    wy = (ys - y0)[None, None, :, None]
+    wx = (xs - x0)[None, None, None, :]
+    top = images[:, :, y0][:, :, :, x0] * (1 - wx) \
+        + images[:, :, y0][:, :, :, x0 + 1] * wx
+    bot = images[:, :, y0 + 1][:, :, :, x0] * (1 - wx) \
+        + images[:, :, y0 + 1][:, :, :, x0 + 1] * wx
+    return top * (1 - wy) + bot * wy
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator,
+                           p: float = 0.5) -> np.ndarray:
+    """Flip each image left-right with probability ``p`` (paper's only
+    augmentation)."""
+    out = images.copy()
+    flips = rng.random(len(images)) < p
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def to_unit_range(images: np.ndarray) -> np.ndarray:
+    """Clip to [0, 1]."""
+    return np.clip(images, 0.0, 1.0)

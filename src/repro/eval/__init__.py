@@ -1,0 +1,33 @@
+"""``repro.eval`` — the paper's evaluation harness.
+
+AOPC/PD perturbation curves (Table II), latent separability (Table III),
+class re-assignment (Table IV), saliency timing (Table V), manifold
+smoothness / SMOTE validity (Section IV.F.3, Fig 11), trap
+demonstrations (Figs 1 and 7), plus mask-based localisation enabled by
+the synthetic ground truth.
+"""
+
+from .localization import localization_scores, pointing_game, saliency_iou
+from .perturbation import DegradationCurve, evaluate_methods, perturbation_curve
+from .pipeline import (DEFAULT_CACHE_DIR, ExperimentContext, ExperimentScale,
+                       QUICK_SCALE)
+from .reassignment import class_reassignment_rate
+from .separability import latent_separability
+from .smoothness import PathProbe, probe_path, smote_validity
+from .timing import saliency_time_ms, time_all_methods
+from .traps import (PathTrace, decision_surface, false_positive_case,
+                    gradient_descent_path, greedy_walk_path, guided_path,
+                    trap_demo_2d)
+
+__all__ = [
+    "DegradationCurve", "perturbation_curve", "evaluate_methods",
+    "class_reassignment_rate", "latent_separability",
+    "smote_validity", "probe_path", "PathProbe",
+    "saliency_time_ms", "time_all_methods",
+    "localization_scores", "pointing_game", "saliency_iou",
+    "trap_demo_2d", "decision_surface", "PathTrace",
+    "gradient_descent_path", "greedy_walk_path", "guided_path",
+    "false_positive_case",
+    "ExperimentContext", "ExperimentScale", "QUICK_SCALE",
+    "DEFAULT_CACHE_DIR",
+]

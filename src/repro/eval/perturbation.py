@@ -1,0 +1,121 @@
+"""Saliency-accuracy metric: patch-coverage degradation curves.
+
+Implements the evaluation of the paper's Section IV.C (following Hooker
+et al. 2019 and Samek et al. 2017): pixels are ranked by saliency; the
+most important ones are covered with random-valued square patches; the
+drop in the classifier's ground-truth class probability is recorded as
+coverage grows.
+
+* **AOPC** (eq 11): mean degradation over all coverage levels.
+* **PD** (eq 12): maximum (peak) degradation over coverage levels.
+
+The paper covers 7x7 patches on 256x256 inputs; we default to 3x3
+patches on 32x32, preserving the covered-area fraction per patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..classifiers import SmallResNet
+from ..explain.base import Explainer
+
+
+@dataclass
+class DegradationCurve:
+    """Per-coverage-level mean probability drops for one explainer."""
+
+    drops: np.ndarray        # (N,) overall degradation at p = 1..N patches
+
+    @property
+    def aopc(self) -> float:
+        """Eq (11): area over the perturbation curve."""
+        return float(self.drops.mean())
+
+    @property
+    def pd(self) -> float:
+        """Eq (12): peak degradation."""
+        return float(self.drops.max())
+
+
+def _select_patch_centers(saliency: np.ndarray, n_patches: int,
+                          patch: int) -> list:
+    """Greedy non-overlapping selection of the most salient patch centres."""
+    h, w = saliency.shape
+    half = patch // 2
+    working = saliency.copy()
+    centers = []
+    for _ in range(n_patches):
+        idx = int(np.argmax(working))
+        cy, cx = divmod(idx, w)
+        centers.append((cy, cx))
+        top = max(cy - half, 0)
+        left = max(cx - half, 0)
+        working[top:cy + half + 1, left:cx + half + 1] = -np.inf
+    return centers
+
+
+def perturbation_curve(explainer: Explainer, classifier: SmallResNet,
+                       images: np.ndarray, labels: np.ndarray,
+                       n_patches: int = 20, patch: int = 3,
+                       rng: Optional[np.random.Generator] = None,
+                       target_labels: Optional[np.ndarray] = None,
+                       fill: str = "mean") -> DegradationCurve:
+    """Compute the degradation curve of ``explainer`` on a sample set.
+
+    For each image: explain, rank pixels, cover the top-p patches (p =
+    1..n_patches), and measure the classifier's ground-truth probability
+    drop.  ``fill`` selects the cover content: the paper fills with
+    random values; on our synthetic data random speckle itself resembles
+    lesion evidence, so the default is ``"mean"`` (image-mean fill),
+    which removes evidence as the metric intends.  Pass ``"random"``
+    for the paper-verbatim protocol.
+    """
+    rng = rng or np.random.default_rng(0)
+    images = np.asarray(images, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    half = patch // 2
+    n_images = len(images)
+
+    drops = np.zeros((n_images, n_patches))
+    for i in range(n_images):
+        image, label = images[i], int(labels[i])
+        target = None if target_labels is None else int(target_labels[i])
+        result = explainer.explain(image, label, target)
+        centers = _select_patch_centers(result.saliency, n_patches, patch)
+
+        base_prob = classifier.predict_proba(image[None])[0, label]
+        covered = image.copy()
+        batch = np.empty((n_patches,) + image.shape)
+        h, w = image.shape[1:]
+        fill_value = image.mean()
+        for p, (cy, cx) in enumerate(centers):
+            top, bottom = max(cy - half, 0), min(cy + half + 1, h)
+            left, right = max(cx - half, 0), min(cx + half + 1, w)
+            if fill == "random":
+                covered[:, top:bottom, left:right] = rng.random(
+                    (image.shape[0], bottom - top, right - left))
+            else:
+                covered[:, top:bottom, left:right] = fill_value
+            batch[p] = covered
+        probs = classifier.predict_proba(batch)[:, label]
+        drops[i] = base_prob - probs
+
+    return DegradationCurve(drops.mean(axis=0))
+
+
+def evaluate_methods(explainers: Dict[str, Explainer],
+                     classifier: SmallResNet, images: np.ndarray,
+                     labels: np.ndarray, n_patches: int = 20, patch: int = 3,
+                     seed: int = 0, fill: str = "mean"
+                     ) -> Dict[str, DegradationCurve]:
+    """Degradation curves for every explainer on the same image set."""
+    return {
+        name: perturbation_curve(
+            explainer, classifier, images, labels, n_patches, patch,
+            rng=np.random.default_rng(seed), fill=fill)
+        for name, explainer in explainers.items()
+    }

@@ -1,0 +1,202 @@
+"""Shared experiment pipeline with on-disk model caching.
+
+Every table/figure benchmark needs the same expensive artefacts: a
+trained black-box classifier, a trained CAE, a trained ICAM-reg, and the
+auxiliary baseline models.  :class:`ExperimentContext` builds them once
+per (dataset, scale) and caches network weights under
+``.repro_cache/`` so the full benchmark suite runs in one sitting.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..classifiers import SmallResNet, train_classifier
+from ..config import ReproConfig
+from ..core import CAEModel, train_cae
+from ..data import ImageDataset, make_dataset
+from ..explain import (ExplainerSuite, ICAMRegModel, build_all_explainers,
+                       train_icam)
+
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+@dataclass
+class ExperimentScale:
+    """Knobs controlling how big one experiment run is."""
+
+    image_size: int = 32
+    train_divisor: int = 200     # Table I counts / divisor
+    classifier_epochs: int = 8
+    classifier_width: int = 12
+    cae_iterations: int = 250
+    aux_epochs: int = 3
+    base_channels: int = 8
+    seed: int = 0
+    min_train_per_class: int = 60
+    min_test_per_class: int = 10
+
+    def tag(self, dataset: str) -> str:
+        return (f"{dataset}_s{self.image_size}_d{self.train_divisor}"
+                f"_e{self.classifier_epochs}_w{self.classifier_width}"
+                f"_i{self.cae_iterations}_b{self.base_channels}"
+                f"_m{self.min_train_per_class}_seed{self.seed}")
+
+
+QUICK_SCALE = ExperimentScale(train_divisor=400, classifier_epochs=4,
+                              cae_iterations=80, aux_epochs=2)
+
+
+class ExperimentContext:
+    """Lazily-built, disk-cached bundle of everything one dataset needs."""
+
+    def __init__(self, dataset_name: str,
+                 scale: Optional[ExperimentScale] = None,
+                 cache_dir: str = DEFAULT_CACHE_DIR):
+        self.dataset_name = dataset_name
+        self.scale = scale or ExperimentScale()
+        self.cache_dir = cache_dir
+        self.config = ReproConfig(base_channels=self.scale.base_channels,
+                                  image_size=self.scale.image_size,
+                                  seed=self.scale.seed)
+        self._train: Optional[ImageDataset] = None
+        self._test: Optional[ImageDataset] = None
+        self._classifier: Optional[SmallResNet] = None
+        self._cae: Optional[CAEModel] = None
+        self._icam: Optional[ICAMRegModel] = None
+        self._suite: Optional[ExplainerSuite] = None
+        self.train_times: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, kind: str) -> str:
+        return os.path.join(self.cache_dir,
+                            f"{self.scale.tag(self.dataset_name)}_{kind}.npz")
+
+    @property
+    def train_set(self) -> ImageDataset:
+        if self._train is None:
+            self._train = make_dataset(
+                self.dataset_name, "train", self.scale.image_size,
+                seed=self.scale.seed, divisor=self.scale.train_divisor,
+                min_per_class=self.scale.min_train_per_class)
+        return self._train
+
+    @property
+    def test_set(self) -> ImageDataset:
+        if self._test is None:
+            self._test = make_dataset(
+                self.dataset_name, "test", self.scale.image_size,
+                seed=self.scale.seed, divisor=self.scale.train_divisor,
+                min_per_class=self.scale.min_test_per_class)
+        return self._test
+
+    # ------------------------------------------------------------------
+    @property
+    def classifier(self) -> SmallResNet:
+        if self._classifier is None:
+            model = SmallResNet(self.train_set.num_classes,
+                                self.train_set.image_shape[0],
+                                width=self.scale.classifier_width,
+                                seed=self.scale.seed)
+            path = self._cache_path("classifier")
+            if os.path.exists(path):
+                nn.load_state(model, path)
+                model.eval()
+            else:
+                start = time.perf_counter()
+                model = train_classifier(
+                    self.train_set, epochs=self.scale.classifier_epochs,
+                    width=self.scale.classifier_width, seed=self.scale.seed)
+                self.train_times["classifier"] = time.perf_counter() - start
+                nn.save_state(model, path)
+            self._classifier = model
+        return self._classifier
+
+    # ------------------------------------------------------------------
+    def _load_or_train_generative(self, kind: str):
+        """Shared cache logic for the CAE and ICAM dual-code models."""
+        if kind == "cae":
+            model = CAEModel(self.train_set.num_classes, self.config)
+        else:
+            model = ICAMRegModel(self.train_set.num_classes, self.config)
+        enc_path = self._cache_path(f"{kind}_encoder")
+        if os.path.exists(enc_path):
+            nn.load_state(model.encoder, enc_path)
+            nn.load_state(model.decoder, self._cache_path(f"{kind}_decoder"))
+            nn.load_state(model.discriminator,
+                          self._cache_path(f"{kind}_disc"))
+            model.eval()
+            return model
+        start = time.perf_counter()
+        if kind == "cae":
+            model = train_cae(self.train_set,
+                              iterations=self.scale.cae_iterations,
+                              config=self.config)
+        else:
+            model = train_icam(self.train_set,
+                               iterations=self.scale.cae_iterations,
+                               config=self.config)
+        self.train_times[kind] = time.perf_counter() - start
+        nn.save_state(model.encoder, enc_path)
+        nn.save_state(model.decoder, self._cache_path(f"{kind}_decoder"))
+        nn.save_state(model.discriminator, self._cache_path(f"{kind}_disc"))
+        return model
+
+    @property
+    def cae(self) -> CAEModel:
+        if self._cae is None:
+            self._cae = self._load_or_train_generative("cae")
+        return self._cae
+
+    @property
+    def icam(self) -> ICAMRegModel:
+        if self._icam is None:
+            self._icam = self._load_or_train_generative("icam")
+        return self._icam
+
+    # ------------------------------------------------------------------
+    def suite(self, include: Optional[tuple] = None) -> ExplainerSuite:
+        """The full explainer suite; CAE/ICAM reuse the cached models."""
+        if self._suite is None:
+            from ..explain import (CAEExplainer, ICAMExplainer)
+            include_rest = tuple(m for m in (include or
+                                             ("lime", "gradcam", "fullgrad",
+                                              "simple_fullgrad",
+                                              "smooth_fullgrad", "tscam",
+                                              "stylex", "lagan"))
+                                 if m not in ("cae", "icam"))
+            suite = build_all_explainers(
+                self.train_set, self.classifier, config=self.config,
+                cae_iterations=self.scale.cae_iterations,
+                aux_epochs=self.scale.aux_epochs, include=include_rest)
+            cae_manifold = self.cae.build_manifold(self.train_set)
+            suite.explainers["icam"] = ICAMExplainer(
+                self.icam, self.icam.build_manifold(self.train_set),
+                self.train_set.num_classes)
+            suite.explainers["cae"] = CAEExplainer(
+                self.cae, cae_manifold, self.classifier)
+            suite.cae_model = self.cae
+            suite.icam_model = self.icam
+            self._suite = suite
+        return self._suite
+
+    # ------------------------------------------------------------------
+    def sample_test_images(self, n: int, abnormal_only: bool = False,
+                           seed: int = 0) -> Tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray]:
+        """Random test images (images, labels, masks) for evaluation."""
+        test = self.test_set
+        idx = np.arange(len(test))
+        if abnormal_only:
+            idx = idx[test.labels[idx] != 0]
+        rng = np.random.default_rng(seed)
+        pick = rng.choice(idx, size=min(n, len(idx)), replace=False)
+        masks = test.masks[pick] if test.masks is not None else \
+            np.zeros((len(pick),) + test.image_shape[1:])
+        return test.images[pick], test.labels[pick], masks

@@ -1,0 +1,33 @@
+"""Computation-cost measurements (paper Tables V and VI)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..explain.base import Explainer
+
+
+def saliency_time_ms(explainer: Explainer, images: np.ndarray,
+                     labels: np.ndarray, n_images: Optional[int] = None
+                     ) -> float:
+    """Average wall time (milliseconds) to produce one saliency map,
+    matching Table V's protocol (paper: 100 brain images)."""
+    if n_images is not None:
+        images = images[:n_images]
+        labels = labels[:n_images]
+    start = time.perf_counter()
+    for image, label in zip(images, labels):
+        explainer.explain(image, int(label))
+    elapsed = time.perf_counter() - start
+    return 1000.0 * elapsed / max(len(images), 1)
+
+
+def time_all_methods(explainers: Dict[str, Explainer], images: np.ndarray,
+                     labels: np.ndarray,
+                     n_images: Optional[int] = None) -> Dict[str, float]:
+    """Table V row: method -> ms per saliency map."""
+    return {name: saliency_time_ms(explainer, images, labels, n_images)
+            for name, explainer in explainers.items()}

@@ -1,0 +1,162 @@
+"""Local-trap demonstrations (paper Fig. 1 and Fig. 7).
+
+Fig. 1 is a conceptual 2-D illustration: on a multi-peaked decision
+surface, gradient descent and greedy multi-perturbation walks stall in
+local optima while a globally-guided straight path crosses the
+class-flipping border.  :func:`trap_demo_2d` reproduces it numerically.
+
+Fig. 7 is an empirical case: masking a false-positive region found by a
+local method lowers the classification probability *without* flipping
+the class, while masking the true lesion flips it with a shorter
+modification path.  :func:`false_positive_case` measures those three
+probability drops on a real (synthetic-OCT) classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..classifiers import SmallResNet
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: 2-D decision surface with deceptive local structure
+# ----------------------------------------------------------------------
+def decision_surface(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Class-A probability on a 2-D plane with a deceptive local basin.
+
+    The surface has its true class-flipping region toward +x, plus a
+    local dip near the origin that attracts greedy descent without ever
+    crossing the 0.5 border.
+    """
+    true_flip = 1.0 / (1.0 + np.exp(-(3.0 - 1.8 * x)))        # drops as x grows
+    local_trap = -0.25 * np.exp(-((x + 0.5) ** 2 + (y - 1.2) ** 2) / 0.3)
+    ripple = 0.05 * np.sin(3 * x) * np.cos(2 * y)
+    return np.clip(true_flip + local_trap + ripple, 0.0, 1.0)
+
+
+@dataclass
+class PathTrace:
+    points: np.ndarray          # (T, 2)
+    probs: np.ndarray           # (T,)
+
+    @property
+    def flipped(self) -> bool:
+        return bool((self.probs < 0.5).any())
+
+    @property
+    def length(self) -> float:
+        return float(np.sqrt(
+            ((np.diff(self.points, axis=0)) ** 2).sum(axis=1)).sum())
+
+
+def _surface_prob(point: np.ndarray) -> float:
+    return float(decision_surface(np.array(point[0]), np.array(point[1])))
+
+
+def gradient_descent_path(start, steps: int = 60,
+                          lr: float = 0.12) -> PathTrace:
+    """Steepest-descent on the class probability (the Fig. 1 ① method)."""
+    point = np.asarray(start, dtype=np.float64)
+    points, probs = [point.copy()], [_surface_prob(point)]
+    eps = 1e-4
+    for _ in range(steps):
+        gx = (_surface_prob(point + [eps, 0]) - _surface_prob(point - [eps, 0])) / (2 * eps)
+        gy = (_surface_prob(point + [0, eps]) - _surface_prob(point - [0, eps])) / (2 * eps)
+        point = point - lr * np.array([gx, gy])
+        points.append(point.copy())
+        probs.append(_surface_prob(point))
+    return PathTrace(np.asarray(points), np.asarray(probs))
+
+
+def greedy_walk_path(start, steps: int = 60, step_size: float = 0.15,
+                     rng: Optional[np.random.Generator] = None) -> PathTrace:
+    """Greedy random walk accepting only probability-decreasing moves
+    (the Fig. 1 ② multi-perturbation family)."""
+    rng = rng or np.random.default_rng(0)
+    point = np.asarray(start, dtype=np.float64)
+    points, probs = [point.copy()], [_surface_prob(point)]
+    for _ in range(steps):
+        candidates = point + step_size * rng.standard_normal((8, 2))
+        cand_probs = [_surface_prob(c) for c in candidates]
+        best = int(np.argmin(cand_probs))
+        if cand_probs[best] < probs[-1]:
+            point = candidates[best]
+            points.append(point.copy())
+            probs.append(cand_probs[best])
+    return PathTrace(np.asarray(points), np.asarray(probs))
+
+
+def guided_path(start, steps: int = 60) -> PathTrace:
+    """Straight path toward the counter-class region (Fig. 1 ④⑤ —
+    what the class-associated manifold provides)."""
+    start = np.asarray(start, dtype=np.float64)
+    destination = np.array([3.5, start[1] * 0.3])   # inside the flip region
+    t = np.linspace(0, 1, steps)[:, None]
+    points = start[None] * (1 - t) + destination[None] * t
+    probs = np.array([_surface_prob(p) for p in points])
+    return PathTrace(points, probs)
+
+
+def trap_demo_2d(start=(-1.2, 1.0), seed: int = 0) -> Dict[str, PathTrace]:
+    """Run all three strategies from the same start point."""
+    return {
+        "gradient": gradient_descent_path(start),
+        "greedy_walk": greedy_walk_path(start,
+                                        rng=np.random.default_rng(seed)),
+        "guided": guided_path(start),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: false-positive masking case on a trained classifier
+# ----------------------------------------------------------------------
+def mask_region_drop(classifier: SmallResNet, image: np.ndarray, label: int,
+                     region: np.ndarray,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[float, bool]:
+    """Probability drop and flip status after random-filling ``region``."""
+    rng = rng or np.random.default_rng(0)
+    image = np.asarray(image, dtype=np.float64)
+    masked = image.copy()
+    sel = region > 0.5
+    masked[:, sel] = rng.random((image.shape[0], int(sel.sum())))
+    base = classifier.predict_proba(image[None])[0]
+    after = classifier.predict_proba(masked[None])[0]
+    drop = float(base[label] - after[label])
+    flipped = bool(after.argmax() != label)
+    return drop, flipped
+
+
+def false_positive_case(classifier: SmallResNet, image: np.ndarray,
+                        label: int, true_mask: np.ndarray,
+                        candidate_saliency: np.ndarray,
+                        seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Reproduce Fig. 7's three maskings.
+
+    ``candidate_saliency`` is a (possibly trap-prone) saliency map; its
+    strongest region *outside* the ground-truth mask is the false
+    positive.  Returns drops/flips for masking FP only, TP only, and
+    both.
+    """
+    rng = np.random.default_rng(seed)
+    outside = candidate_saliency * (true_mask < 0.5)
+    k = max(1, int(0.05 * outside.size))
+    threshold = np.sort(outside, axis=None)[-k]
+    fp_region = (outside >= threshold) & (outside > 0)
+
+    tp_region = true_mask > 0.5
+    both = fp_region | tp_region
+
+    results = {}
+    for name, region in (("false_positive", fp_region),
+                         ("true_positive", tp_region), ("both", both)):
+        drop, flipped = mask_region_drop(
+            classifier, image, label, region.astype(float),
+            rng=np.random.default_rng(seed))
+        results[name] = {"drop": drop, "flipped": float(flipped),
+                         "area": float(region.sum())}
+    return results

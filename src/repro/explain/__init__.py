@@ -1,0 +1,25 @@
+"""``repro.explain`` — the CAE explainer and the nine Table II baselines."""
+
+from .base import Explainer, SaliencyResult, default_counter_label
+from .cae_explainer import CAEExplainer
+from .fullgrad import (FullGradExplainer, SimpleFullGradExplainer,
+                       SmoothFullGradExplainer)
+from .gradcam import GradCAMExplainer
+from .icam import ICAMExplainer, ICAMRegModel, train_icam
+from .lagan import LAGANExplainer, MaskGenerator, train_lagan
+from .lime import LimeExplainer
+from .occlusion import OcclusionExplainer
+from .registry import TABLE2_METHODS, ExplainerSuite, build_all_explainers
+from .stylex import LatentAutoencoder, StylexExplainer, train_stylex
+from .tscam import PatchAttentionClassifier, TSCAMExplainer, train_tscam
+
+__all__ = [
+    "Explainer", "SaliencyResult", "default_counter_label",
+    "CAEExplainer", "LimeExplainer", "GradCAMExplainer",
+    "FullGradExplainer", "SimpleFullGradExplainer", "SmoothFullGradExplainer",
+    "OcclusionExplainer", "TSCAMExplainer", "train_tscam",
+    "PatchAttentionClassifier", "StylexExplainer", "train_stylex",
+    "LatentAutoencoder", "LAGANExplainer", "train_lagan", "MaskGenerator",
+    "ICAMExplainer", "ICAMRegModel", "train_icam",
+    "TABLE2_METHODS", "ExplainerSuite", "build_all_explainers",
+]

@@ -1,0 +1,64 @@
+"""Explainer interface shared by CAE and all nine baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class SaliencyResult:
+    """Saliency explanation for one image.
+
+    ``saliency`` is an (H, W) non-negative importance map; higher values
+    mean greater attribution toward the explained class decision.
+    """
+
+    saliency: np.ndarray
+    label: int
+    target_label: Optional[int] = None
+    meta: Dict = field(default_factory=dict)
+
+    def normalized(self) -> np.ndarray:
+        """Saliency rescaled to [0, 1] (monotone, ranking-preserving)."""
+        s = self.saliency - self.saliency.min()
+        peak = s.max()
+        return s / peak if peak > 0 else s
+
+    def top_pixels(self, k: int) -> np.ndarray:
+        """Indices (row, col) of the k most salient pixels, descending."""
+        flat = np.argsort(self.saliency, axis=None)[::-1][:k]
+        return np.stack(np.unravel_index(flat, self.saliency.shape), axis=1)
+
+
+class Explainer:
+    """Base class: produce a saliency map for one image.
+
+    Subclasses set :attr:`name` and implement :meth:`explain`.  The
+    ``target_label`` argument selects which counter class to contrast
+    against in counterfactual methods; gradient/perturbation methods may
+    ignore it.
+    """
+
+    name = "base"
+
+    def explain(self, image: np.ndarray, label: int,
+                target_label: Optional[int] = None) -> SaliencyResult:
+        raise NotImplementedError
+
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        """Default batch path: loop over :meth:`explain`."""
+        results = []
+        for i, (image, label) in enumerate(zip(images, labels)):
+            target = None if target_labels is None else int(target_labels[i])
+            results.append(self.explain(image, int(label), target))
+        return results
+
+
+def default_counter_label(label: int, num_classes: int) -> int:
+    """Default counter class: NORMAL (0) for abnormal samples, class 1
+    otherwise — mirroring the paper's normal-vs-abnormal transitions."""
+    return 0 if label != 0 else 1 % num_classes

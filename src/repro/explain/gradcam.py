@@ -1,0 +1,41 @@
+"""Grad-CAM (Selvaraju et al. 2017) on the classifier's last conv stage."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..classifiers import SmallResNet
+from ..data.transforms import resize_bilinear
+from .base import Explainer, SaliencyResult
+
+
+class GradCAMExplainer(Explainer):
+    """Channel-weighted activation map from last-stage gradients."""
+
+    name = "gradcam"
+
+    def __init__(self, classifier: SmallResNet):
+        self.classifier = classifier
+
+    def explain(self, image: np.ndarray, label: int,
+                target_label: Optional[int] = None) -> SaliencyResult:
+        image = np.asarray(image, dtype=np.float64)
+        self.classifier.eval()
+        x = nn.Tensor(image[None], requires_grad=True)
+        logits, feats = self.classifier.forward_with_features(x)
+        feats.retain_grad()
+        score = logits[np.arange(1), np.array([label])].sum()
+        score.backward()
+
+        grads = feats.grad[0]                  # (C, h, w)
+        activations = feats.data[0]
+        channel_weights = grads.mean(axis=(1, 2))   # GAP of gradients
+        cam = np.maximum(
+            (channel_weights[:, None, None] * activations).sum(axis=0), 0.0)
+
+        h, w = image.shape[1:]
+        cam = resize_bilinear(cam[None, None], h)[0, 0]
+        return SaliencyResult(cam, label, target_label)

@@ -1,0 +1,116 @@
+"""Explainer factory: builds the full Table II method suite for a dataset.
+
+``build_all_explainers`` trains the auxiliary models the baselines need
+(TS-CAM's own classifier, StyLEx's autoencoder, LAGAN's mask generator,
+ICAM-reg's dual-code model) and returns a name -> Explainer mapping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..classifiers import SmallResNet
+from ..config import ReproConfig
+from ..core import CAEModel, train_cae
+from ..data import ImageDataset
+from .base import Explainer
+from .cae_explainer import CAEExplainer
+from .fullgrad import (FullGradExplainer, SimpleFullGradExplainer,
+                       SmoothFullGradExplainer)
+from .gradcam import GradCAMExplainer
+from .icam import ICAMExplainer, ICAMRegModel, train_icam
+from .lagan import LAGANExplainer, train_lagan
+from .lime import LimeExplainer
+from .occlusion import OcclusionExplainer
+from .stylex import StylexExplainer, train_stylex
+from .tscam import TSCAMExplainer, train_tscam
+
+#: Column order of the paper's Table II (ours last).
+TABLE2_METHODS = ("lime", "fullgrad", "simple_fullgrad", "smooth_fullgrad",
+                  "gradcam", "stylex", "tscam", "lagan", "icam", "cae")
+
+
+@dataclass
+class ExplainerSuite:
+    """All trained explainers for one dataset plus training wall-times."""
+
+    explainers: Dict[str, Explainer]
+    training_times: Dict[str, float] = field(default_factory=dict)
+    cae_model: Optional[CAEModel] = None
+    icam_model: Optional[ICAMRegModel] = None
+
+    def __getitem__(self, name: str) -> Explainer:
+        return self.explainers[name]
+
+    def __iter__(self):
+        return iter(self.explainers.items())
+
+
+def build_all_explainers(train_set: ImageDataset, classifier: SmallResNet,
+                         config: Optional[ReproConfig] = None,
+                         cae_iterations: int = 200,
+                         aux_epochs: int = 3,
+                         include: Optional[tuple] = None,
+                         verbose: bool = False) -> ExplainerSuite:
+    """Train and assemble the Table II explainer suite.
+
+    ``include`` restricts which methods are built (e.g. for quick tests);
+    the CAE and ICAM generative models are only trained when requested.
+    """
+    include = tuple(include) if include else TABLE2_METHODS
+    explainers: Dict[str, Explainer] = {}
+    times: Dict[str, float] = {}
+    cae_model = None
+    icam_model = None
+
+    if "lime" in include:
+        explainers["lime"] = LimeExplainer(classifier)
+    if "gradcam" in include:
+        explainers["gradcam"] = GradCAMExplainer(classifier)
+    if "fullgrad" in include:
+        explainers["fullgrad"] = FullGradExplainer(classifier)
+    if "simple_fullgrad" in include:
+        explainers["simple_fullgrad"] = SimpleFullGradExplainer(classifier)
+    if "smooth_fullgrad" in include:
+        explainers["smooth_fullgrad"] = SmoothFullGradExplainer(classifier)
+    if "occlusion" in include:
+        explainers["occlusion"] = OcclusionExplainer(classifier)
+
+    if "tscam" in include:
+        start = time.perf_counter()
+        tscam_model = train_tscam(train_set, epochs=aux_epochs)
+        times["tscam"] = time.perf_counter() - start
+        explainers["tscam"] = TSCAMExplainer(tscam_model)
+
+    if "stylex" in include:
+        start = time.perf_counter()
+        autoencoder = train_stylex(train_set, classifier, epochs=aux_epochs)
+        times["stylex"] = time.perf_counter() - start
+        explainers["stylex"] = StylexExplainer(autoencoder, classifier)
+
+    if "lagan" in include:
+        start = time.perf_counter()
+        mask_gen = train_lagan(train_set, classifier, epochs=aux_epochs)
+        times["lagan"] = time.perf_counter() - start
+        explainers["lagan"] = LAGANExplainer(mask_gen, classifier)
+
+    if "icam" in include:
+        start = time.perf_counter()
+        icam_model = train_icam(train_set, iterations=cae_iterations,
+                                config=config, verbose=verbose)
+        times["icam"] = time.perf_counter() - start
+        icam_manifold = icam_model.build_manifold(train_set)
+        explainers["icam"] = ICAMExplainer(icam_model, icam_manifold,
+                                           train_set.num_classes)
+
+    if "cae" in include:
+        start = time.perf_counter()
+        cae_model = train_cae(train_set, iterations=cae_iterations,
+                              config=config, verbose=verbose)
+        times["cae"] = time.perf_counter() - start
+        manifold = cae_model.build_manifold(train_set)
+        explainers["cae"] = CAEExplainer(cae_model, manifold, classifier)
+
+    return ExplainerSuite(explainers, times, cae_model, icam_model)

@@ -1,0 +1,130 @@
+"""StyLEx-style baseline: latent-space counterfactual by per-image
+optimisation.
+
+StyLEx (Lang et al. 2021, "Explaining in Style") trains a generator whose
+style space is coupled to the classifier and finds the style coordinates
+that flip the prediction.  Our analog trains a compact autoencoder with a
+classifier-consistency term, then — per explained image — performs
+gradient descent in the latent space until the black-box classifier
+flips, exactly the "local random walk in latent space" family the paper
+groups StyLEx into.  The per-image optimisation is why StyLEx is by far
+the slowest method in the paper's Table V; the same holds here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..classifiers import SmallResNet
+from ..data import DataLoader, ImageDataset
+from .base import Explainer, SaliencyResult, default_counter_label
+
+
+class LatentAutoencoder(nn.Module):
+    """Conv autoencoder with a single flat latent vector."""
+
+    def __init__(self, in_channels: int = 1, image_size: int = 32,
+                 latent_dim: int = 32, base: int = 8, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.latent_dim = latent_dim
+        spatial = image_size // 4
+        self.enc1 = nn.DownBlock(in_channels, base, rng=rng)
+        self.enc2 = nn.DownBlock(base, base * 2, rng=rng)
+        self.enc_fc = nn.Linear(base * 2 * spatial * spatial, latent_dim,
+                                rng=rng)
+        self.dec_fc = nn.Linear(latent_dim, base * 2 * spatial * spatial,
+                                rng=rng)
+        self.dec1 = nn.UpBlock(base * 2, base, rng=rng)
+        self.dec2 = nn.UpBlock(base, base, rng=rng)
+        self.out_conv = nn.Conv2d(base, in_channels, 3, padding=1, rng=rng)
+        self._spatial = spatial
+        self._base = base
+
+    def encode(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.enc2(self.enc1(x))
+        return self.enc_fc(h.flatten(1))
+
+    def decode(self, z: nn.Tensor) -> nn.Tensor:
+        n = z.shape[0]
+        h = self.dec_fc(z).relu()
+        h = h.reshape(n, self._base * 2, self._spatial, self._spatial)
+        return self.out_conv(self.dec2(self.dec1(h))).sigmoid()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.decode(self.encode(x))
+
+
+def train_stylex(dataset: ImageDataset, classifier: SmallResNet,
+                 epochs: int = 5, lr: float = 1e-3, latent_dim: int = 32,
+                 seed: int = 0) -> LatentAutoencoder:
+    """Train the StyLEx autoencoder with a classifier-consistency term."""
+    model = LatentAutoencoder(dataset.image_shape[0],
+                              dataset.image_shape[1],
+                              latent_dim=latent_dim, seed=seed)
+    optimizer = nn.Adam(model.parameters(), lr=lr)
+    loader = DataLoader(dataset, batch_size=16,
+                        rng=np.random.default_rng(seed))
+    classifier.eval()
+    for _ in range(epochs):
+        for images, labels in loader:
+            recon = model(nn.Tensor(images))
+            loss = nn.l1_loss(recon, nn.Tensor(images))
+            # Classifier-consistency: reconstructions keep their class.
+            logits = classifier(recon)
+            loss = loss + 0.1 * nn.cross_entropy(logits, labels)
+            model.zero_grad()
+            classifier.zero_grad()
+            loss.backward()
+            optimizer.step()
+    model.eval()
+    return model
+
+
+class StylexExplainer(Explainer):
+    """Per-image latent-space counterfactual search (slow by design)."""
+
+    name = "stylex"
+
+    def __init__(self, autoencoder: LatentAutoencoder,
+                 classifier: SmallResNet, steps: int = 40,
+                 step_size: float = 0.5, l2_penalty: float = 0.01):
+        self.autoencoder = autoencoder
+        self.classifier = classifier
+        self.steps = steps
+        self.step_size = step_size
+        self.l2_penalty = l2_penalty
+
+    def explain(self, image: np.ndarray, label: int,
+                target_label: Optional[int] = None) -> SaliencyResult:
+        image = np.asarray(image, dtype=np.float64)
+        if target_label is None:
+            target_label = default_counter_label(
+                label, self.classifier.num_classes)
+        self.autoencoder.eval()
+        self.classifier.eval()
+
+        z0 = self.autoencoder.encode(nn.Tensor(image[None])).data.copy()
+        base = self.autoencoder.decode(nn.Tensor(z0)).data[0]
+        z = z0.copy()
+        targets = np.array([target_label])
+        for _ in range(self.steps):
+            zt = nn.Tensor(z, requires_grad=True)
+            decoded = self.autoencoder.decode(zt)
+            logits = self.classifier(decoded)
+            loss = nn.cross_entropy(logits, targets) \
+                + self.l2_penalty * ((zt - nn.Tensor(z0)) ** 2).sum()
+            self.autoencoder.zero_grad()
+            self.classifier.zero_grad()
+            loss.backward()
+            z = z - self.step_size * zt.grad
+            if logits.data.argmax(axis=1)[0] == target_label:
+                break
+
+        counterfactual = self.autoencoder.decode(nn.Tensor(z)).data[0]
+        saliency = np.abs(counterfactual - base).sum(axis=0)
+        return SaliencyResult(saliency, label, target_label,
+                              meta={"z_shift": float(np.abs(z - z0).sum())})

@@ -1,0 +1,130 @@
+"""TS-CAM analog: token-semantic coupled attention maps.
+
+TS-CAM (Yao et al. 2022) splits the image into patch tokens, trains a
+vision transformer, and couples the class token's attention over patches
+with per-token semantic (class) scores.  As the paper notes, TS-CAM
+"created its own classifier rather than explaining external ones"; we do
+the same: a small single-block patch-attention classifier is trained per
+dataset, and the saliency map is attention x token-class-score.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..data import DataLoader, ImageDataset
+from ..data.transforms import resize_bilinear
+from .base import Explainer, SaliencyResult
+
+
+class PatchAttentionClassifier(nn.Module):
+    """Patch embedding + single-head self-attention + dual heads.
+
+    A class token attends over patch tokens; classification uses the
+    class token, while a token head scores every patch per class (the
+    "token semantics" of TS-CAM).
+    """
+
+    def __init__(self, num_classes: int, in_channels: int = 1,
+                 image_size: int = 32, patch: int = 4, dim: int = 16,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.patch = patch
+        self.dim = dim
+        self.tokens_per_side = image_size // patch
+        n_tokens = self.tokens_per_side ** 2
+        self.embed = nn.Conv2d(in_channels, dim, patch, stride=patch, rng=rng)
+        self.pos = nn.Parameter(rng.standard_normal((1, n_tokens + 1, dim))
+                                * 0.02)
+        self.cls_token = nn.Parameter(rng.standard_normal((1, 1, dim)) * 0.02)
+        self.norm = nn.LayerNorm(dim)
+        self.wq = nn.Linear(dim, dim, rng=rng)
+        self.wk = nn.Linear(dim, dim, rng=rng)
+        self.wv = nn.Linear(dim, dim, rng=rng)
+        self.mlp = nn.Linear(dim, dim, rng=rng)
+        self.head = nn.Linear(dim, num_classes, rng=rng)       # class token
+        self.token_head = nn.Linear(dim, num_classes, rng=rng)  # semantics
+        self.num_classes = num_classes
+
+    def forward_full(self, x: nn.Tensor):
+        """Return (logits, attention over patches, token class scores)."""
+        n = x.shape[0]
+        patches = self.embed(x)                       # (N, D, t, t)
+        t = patches.shape[2]
+        tokens = patches.reshape(n, self.dim, t * t).transpose(0, 2, 1)
+        ones = nn.Tensor(np.ones((n, 1, 1)))
+        cls_tok = self.cls_token * ones               # broadcast to batch
+        seq = nn.Tensor.concat([cls_tok, tokens], axis=1)
+        seq = seq + self.pos
+        normed = self.norm(seq)
+
+        q = self.wq(normed)
+        k = self.wk(normed)
+        v = self.wv(normed)
+        scale = 1.0 / np.sqrt(self.dim)
+        attn = F.softmax(q.matmul(k.transpose(0, 2, 1)) * scale, axis=-1)
+        mixed = attn.matmul(v)
+        seq = seq + mixed
+        seq = seq + self.mlp(self.norm(seq)).relu()
+
+        cls_repr = seq[:, 0]
+        logits = self.head(cls_repr)
+        token_scores = self.token_head(seq[:, 1:])    # (N, T, classes)
+        cls_attention = attn[:, 0, 1:]                # (N, T)
+        return logits, cls_attention, token_scores
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.forward_full(x)[0]
+
+
+def train_tscam(dataset: ImageDataset, epochs: int = 5, lr: float = 1e-3,
+                seed: int = 0, dim: int = 16) -> PatchAttentionClassifier:
+    """Train the TS-CAM analog classifier on ``dataset``."""
+    model = PatchAttentionClassifier(
+        dataset.num_classes, dataset.image_shape[0],
+        image_size=dataset.image_shape[1], dim=dim, seed=seed)
+    optimizer = nn.Adam(model.parameters(), lr=lr)
+    loader = DataLoader(dataset, batch_size=16,
+                        rng=np.random.default_rng(seed))
+    for _ in range(epochs):
+        for images, labels in loader:
+            logits, __, token_scores = model.forward_full(nn.Tensor(images))
+            # Token scores are supervised with the image label (weak
+            # localisation supervision, as in TS-CAM's coupled training).
+            pooled_tokens = token_scores.mean(axis=1)
+            loss = nn.cross_entropy(logits, labels) \
+                + 0.5 * nn.cross_entropy(pooled_tokens, labels)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+    model.eval()
+    return model
+
+
+class TSCAMExplainer(Explainer):
+    """Saliency = class-token attention x per-token class score."""
+
+    name = "tscam"
+
+    def __init__(self, tscam_model: PatchAttentionClassifier):
+        self.model = tscam_model
+
+    def explain(self, image: np.ndarray, label: int,
+                target_label: Optional[int] = None) -> SaliencyResult:
+        image = np.asarray(image, dtype=np.float64)
+        self.model.eval()
+        __, attention, token_scores = self.model.forward_full(
+            nn.Tensor(image[None]))
+        t = self.model.tokens_per_side
+        attn_map = attention.data[0].reshape(t, t)
+        semantic = F.softmax(token_scores, axis=-1).data[0, :, label]
+        semantic_map = semantic.reshape(t, t)
+        coupled = attn_map * semantic_map
+        h = image.shape[1]
+        saliency = resize_bilinear(coupled[None, None], h)[0, 0]
+        return SaliencyResult(saliency, label, target_label)

@@ -1,0 +1,20 @@
+"""``repro.ml`` — classical ML substrate (no sklearn in this environment).
+
+Random forest for Table III's latent separability study, exact t-SNE for
+Fig. 8, SMOTE for the Section IV.F.3 smoothness analysis, plus PCA,
+stratified cross-validation, and metrics.
+"""
+
+from .crossval import cross_val_accuracy, stratified_kfold_indices
+from .forest import RandomForestClassifier
+from .metrics import accuracy_score, binary_auc, confusion_matrix, iou_score
+from .pca import PCA
+from .smote import smote_sample
+from .tree import DecisionTreeClassifier
+from .tsne import TSNE
+
+__all__ = [
+    "DecisionTreeClassifier", "RandomForestClassifier", "PCA", "TSNE",
+    "smote_sample", "stratified_kfold_indices", "cross_val_accuracy",
+    "accuracy_score", "confusion_matrix", "binary_auc", "iou_score",
+]

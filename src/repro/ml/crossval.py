@@ -1,0 +1,46 @@
+"""Stratified k-fold cross-validation (Table III uses ten folds)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+def stratified_kfold_indices(y: np.ndarray, n_splits: int = 10,
+                             rng: Optional[np.random.Generator] = None
+                             ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class balanced folds."""
+    y = np.asarray(y)
+    rng = rng or np.random.default_rng()
+    n = len(y)
+    fold_of = np.empty(n, dtype=int)
+    for label in np.unique(y):
+        idx = np.where(y == label)[0]
+        idx = idx[rng.permutation(len(idx))]
+        fold_of[idx] = np.arange(len(idx)) % n_splits
+    for fold in range(n_splits):
+        test_mask = fold_of == fold
+        yield np.where(~test_mask)[0], np.where(test_mask)[0]
+
+
+def cross_val_accuracy(make_model: Callable[[], object], X: np.ndarray,
+                       y: np.ndarray, n_splits: int = 10,
+                       rng: Optional[np.random.Generator] = None
+                       ) -> Tuple[float, float, np.ndarray]:
+    """K-fold accuracy; returns (mean, std, per-fold scores).
+
+    ``make_model`` must return a fresh classifier with ``fit``/``predict``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in stratified_kfold_indices(y, n_splits, rng):
+        if len(test_idx) == 0:
+            continue
+        model = make_model()
+        model.fit(X[train_idx], y[train_idx])
+        pred = model.predict(X[test_idx])
+        scores.append(float((pred == y[test_idx]).mean()))
+    scores = np.asarray(scores)
+    return float(scores.mean()), float(scores.std()), scores

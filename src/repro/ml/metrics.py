@@ -1,0 +1,57 @@
+"""Classification metrics shared by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: int | None = None) -> np.ndarray:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def binary_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the rank statistic (Mann-Whitney U)."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = scores[y_true == 1]
+    neg = scores[y_true == 0]
+    if len(pos) == 0 or len(neg) == 0:
+        return 0.5
+    order = np.argsort(np.concatenate([neg, pos]), kind="stable")
+    ranks = np.empty(len(order), dtype=np.float64)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks over ties for correctness.
+    combined = np.concatenate([neg, pos])
+    for value in np.unique(combined):
+        mask = combined == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    rank_sum_pos = ranks[len(neg):].sum()
+    u = rank_sum_pos - len(pos) * (len(pos) + 1) / 2.0
+    return float(u / (len(pos) * len(neg)))
+
+
+def iou_score(pred_mask: np.ndarray, true_mask: np.ndarray,
+              threshold: float = 0.5) -> float:
+    """Intersection-over-union of binarised masks."""
+    p = np.asarray(pred_mask) > threshold
+    t = np.asarray(true_mask) > threshold
+    union = np.logical_or(p, t).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(p, t).sum() / union)

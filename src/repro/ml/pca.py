@@ -1,0 +1,41 @@
+"""Principal component analysis via SVD (manifold visualisation helper)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    """Exact PCA; supports transform and inverse_transform."""
+
+    def __init__(self, n_components: int = 2):
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        __, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        var = s ** 2
+        self.explained_variance_ratio_ = \
+            var[: self.n_components] / max(var.sum(), 1e-12)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return (np.asarray(X) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return np.asarray(Z) @ self.components_ + self.mean_

@@ -1,0 +1,135 @@
+"""CART decision-tree classifier (Gini impurity, random feature subsets).
+
+Substrate for :mod:`repro.ml.forest`; sklearn is unavailable here and
+Table III of the paper requires a random-forest classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    proba: Optional[np.ndarray] = None   # leaf class distribution
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float((p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART tree.
+
+    Parameters
+    ----------
+    max_depth: maximum tree depth (None = unlimited).
+    min_samples_split: do not split nodes smaller than this.
+    max_features: number of candidate features per split
+        (None = all; "sqrt" = sqrt(n_features), the forest default).
+    """
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 min_samples_split: int = 2,
+                 max_features=None,
+                 rng: Optional[np.random.Generator] = None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng()
+        self._root: Optional[_Node] = None
+        self.n_classes_ = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_classes_ = int(y.max()) + 1
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return min(n_features, int(self.max_features))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes_)
+        node = _Node()
+        depth_ok = self.max_depth is None or depth < self.max_depth
+        if (not depth_ok or len(y) < self.min_samples_split
+                or counts.max() == len(y)):
+            node.proba = counts / max(counts.sum(), 1)
+            return node
+
+        feature, threshold = self._best_split(X, y, counts)
+        if feature < 0:
+            node.proba = counts / max(counts.sum(), 1)
+            return node
+
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray,
+                    counts: np.ndarray) -> tuple:
+        n, d = X.shape
+        k = self._n_candidate_features(d)
+        features = self.rng.choice(d, size=k, replace=False)
+        parent_gini = _gini(counts)
+        best_gain, best_feature, best_threshold = 1e-12, -1, 0.0
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            left = np.zeros(self.n_classes_)
+            right = counts.astype(np.float64).copy()
+            for i in range(n - 1):
+                left[ys[i]] += 1
+                right[ys[i]] -= 1
+                if xs[i + 1] <= xs[i]:
+                    continue
+                nl, nr = i + 1, n - i - 1
+                gain = parent_gini - (nl * _gini(left)
+                                      + nr * _gini(right)) / n
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(f)
+                    best_threshold = 0.5 * (xs[i] + xs[i + 1])
+        return best_feature, best_threshold
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((len(X), self.n_classes_))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold \
+                    else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

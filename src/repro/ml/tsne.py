@@ -1,0 +1,102 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) for manifold visualisation.
+
+Used by the Fig. 8 reproduction to project CAE's class-associated codes
+and ICAM-reg's attribute codes to 2-D.  Exact (non-Barnes-Hut) gradients
+are fine at the code-bank sizes used here (hundreds of points).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_sq_dists(X: np.ndarray) -> np.ndarray:
+    sq = (X ** 2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_perplexity(d2_row: np.ndarray, target_entropy: float,
+                              tol: float = 1e-5, max_iter: int = 50
+                              ) -> np.ndarray:
+    """Find the Gaussian precision giving the target perplexity for one row."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    p = np.zeros_like(d2_row)
+    for _ in range(max_iter):
+        p = np.exp(-d2_row * beta)
+        total = p.sum()
+        if total <= 0:
+            total = 1e-12
+        p = p / total
+        entropy = -(p * np.log(np.maximum(p, 1e-12))).sum()
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_min = beta
+            beta = beta * 2 if beta_max == np.inf else (beta + beta_max) / 2
+        else:
+            beta_max = beta
+            beta = beta / 2 if beta_min == -np.inf else (beta + beta_min) / 2
+    return p
+
+
+class TSNE:
+    """Exact t-SNE with early exaggeration and momentum gradient descent."""
+
+    def __init__(self, n_components: int = 2, perplexity: float = 30.0,
+                 learning_rate: float = 200.0, n_iter: int = 500,
+                 early_exaggeration: float = 12.0, seed: int = 0):
+        self.n_components = n_components
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.early_exaggeration = early_exaggeration
+        self.seed = seed
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        n = len(X)
+        if n < 4:
+            raise ValueError("t-SNE needs at least 4 points")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+        target_entropy = np.log(perplexity)
+
+        d2 = _pairwise_sq_dists(X)
+        p_cond = np.zeros((n, n))
+        idx = np.arange(n)
+        for i in range(n):
+            others = idx != i
+            p_cond[i, others] = _binary_search_perplexity(
+                d2[i, others], target_entropy)
+        p_joint = (p_cond + p_cond.T) / (2.0 * n)
+        p_joint = np.maximum(p_joint, 1e-12)
+
+        rng = np.random.default_rng(self.seed)
+        Y = rng.standard_normal((n, self.n_components)) * 1e-4
+        velocity = np.zeros_like(Y)
+        gains = np.ones_like(Y)
+
+        exaggeration_until = min(250, self.n_iter // 4)
+        for it in range(self.n_iter):
+            p = p_joint * (self.early_exaggeration
+                           if it < exaggeration_until else 1.0)
+            dy2 = _pairwise_sq_dists(Y)
+            q_num = 1.0 / (1.0 + dy2)
+            np.fill_diagonal(q_num, 0.0)
+            q = np.maximum(q_num / q_num.sum(), 1e-12)
+
+            pq = (p - q) * q_num
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ Y)
+
+            momentum = 0.5 if it < exaggeration_until else 0.8
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, 0.01)
+            velocity = momentum * velocity - self.learning_rate * gains * grad
+            Y = Y + velocity
+            Y = Y - Y.mean(axis=0)
+        return Y

@@ -1,0 +1,31 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The target paper trains its networks in PyTorch; this environment has no
+deep-learning framework, so the reproduction ships its own: a tape-based
+autodiff :class:`~repro.nn.tensor.Tensor`, convolutional layers, GAN-ready
+normalisation, Adam, and checkpointing.
+"""
+
+from . import functional
+from .blocks import MLP, DownBlock, ResidualBlock, UpBlock
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, Dropout,
+                     Flatten, GlobalAvgPool2d, InstanceNorm2d, LayerNorm,
+                     LeakyReLU, Linear, MaxPool2d, Module, Parameter, ReLU,
+                     Sequential, Sigmoid, Tanh, Upsample)
+from .losses import (accuracy, binary_real_fake_loss, cross_entropy, l1_loss,
+                     mse_loss)
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_state, save_state
+from .tensor import Tensor, as_tensor, ones, randn, zeros
+
+__all__ = [
+    "Tensor", "as_tensor", "zeros", "ones", "randn",
+    "Module", "Parameter", "Sequential", "Linear", "Conv2d",
+    "ConvTranspose2d", "InstanceNorm2d", "BatchNorm2d", "LayerNorm",
+    "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Flatten", "Dropout",
+    "AvgPool2d", "MaxPool2d", "GlobalAvgPool2d", "Upsample",
+    "ResidualBlock", "DownBlock", "UpBlock", "MLP",
+    "SGD", "Adam", "Optimizer",
+    "l1_loss", "mse_loss", "cross_entropy", "binary_real_fake_loss",
+    "accuracy", "save_state", "load_state", "functional",
+]

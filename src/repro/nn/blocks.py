@@ -1,0 +1,85 @@
+"""Reusable composite blocks (residual / down / up) shared by the
+classifier, the CAE encoder-decoder, and the baseline generative models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import (Conv2d, InstanceNorm2d, LeakyReLU, Linear, Module, ReLU,
+                     Sequential, Upsample)
+from .tensor import Tensor
+
+
+class ResidualBlock(Module):
+    """Two 3x3 convs with instance norm and a skip connection."""
+
+    def __init__(self, channels: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+        self.norm1 = InstanceNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+        self.norm2 = InstanceNorm2d(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.norm1(self.conv1(x)).relu()
+        h = self.norm2(self.conv2(h))
+        return (x + h).relu()
+
+
+class DownBlock(Module):
+    """Stride-2 conv + instance norm + LeakyReLU (halves spatial size)."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None,
+                 norm: bool = True):
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, 4, stride=2, padding=1,
+                           rng=rng)
+        self.norm = InstanceNorm2d(out_channels) if norm else None
+        self.act = LeakyReLU(0.2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv(x)
+        if self.norm is not None:
+            h = self.norm(h)
+        return self.act(h)
+
+
+class UpBlock(Module):
+    """Nearest-neighbour upsample + 3x3 conv + instance norm + ReLU.
+
+    Upsample-then-conv avoids the checkerboard artefacts of transposed
+    convolution, which matters for the real-looking synthetic samples the
+    discriminator must be fooled by.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.up = Upsample(2)
+        self.conv = Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.norm = InstanceNorm2d(out_channels)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.norm(self.conv(self.up(x))))
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations."""
+
+    def __init__(self, in_dim: int, hidden_dims, out_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        dims = [in_dim] + list(hidden_dims) + [out_dim]
+        layers = []
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(a, b, rng=rng))
+            if i < len(dims) - 2:
+                layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,237 @@
+"""Structured neural-network primitives with hand-written backward passes.
+
+Convolution is implemented with im2col/col2im so that the inner loop is a
+single large matrix multiply — the standard approach for CPU conv and the
+only way a pure-numpy GAN training loop stays tractable.
+
+All image tensors use NCHW layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: (N, C, H, W) input images.
+
+    Returns
+    -------
+    cols: (N, C * kernel * kernel, out_h * out_w)
+    """
+    n, c, h, w = x.shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Strided sliding-window view: (N, C, out_h, out_w, k, k)
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    # -> (N, C, k, k, out_h, out_w) -> (N, C*k*k, out_h*out_w)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        n, c * kernel * kernel, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+           kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        h_end = ki + stride * out_h
+        for kj in range(kernel):
+            w_end = kj + stride * out_w
+            padded[:, :, ki:h_end:stride, kj:w_end:stride] += cols6[:, :, ki, kj]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation), NCHW.
+
+    weight: (out_channels, in_channels, k, k); bias: (out_channels,).
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels, weight expects {c_in_w}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+    out_h = _conv_output_size(h, kernel, stride, padding)
+    out_w = _conv_output_size(w, kernel, stride, padding)
+
+    cols = im2col(x.data, kernel, stride, padding)          # (N, C*k*k, L)
+    w2d = weight.data.reshape(c_out, -1)                    # (C_out, C*k*k)
+    out = np.einsum("of,nfl->nol", w2d, cols, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad2d = grad.reshape(n, c_out, -1)                 # (N, C_out, L)
+        if weight.requires_grad:
+            gw = np.einsum("nol,nfl->of", grad2d, cols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gcols = np.einsum("of,nol->nfl", w2d, grad2d, optimize=True)
+            x._accumulate(col2im(gcols, x.shape, kernel, stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_transpose(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: int = 2, padding: int = 0) -> Tensor:
+    """Transposed convolution (fractionally-strided), NCHW.
+
+    weight: (in_channels, out_channels, k, k).  Output spatial size is
+    ``(H - 1) * stride - 2 * padding + k``.
+    """
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels, weight expects {c_in_w}")
+    kernel = kh
+    out_h = (h - 1) * stride - 2 * padding + kernel
+    out_w = (w - 1) * stride - 2 * padding + kernel
+
+    # Forward of transposed conv == backward-input of a normal conv whose
+    # input is the output here.  Compute via col2im on W^T @ x.
+    w2d = weight.data.reshape(c_in, c_out * kernel * kernel)
+    x2d = x.data.reshape(n, c_in, h * w)
+    cols = np.einsum("if,nil->nfl", w2d, x2d, optimize=True)
+    out = col2im(cols, (n, c_out, out_h, out_w), kernel, stride, padding)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        gcols = im2col(grad, kernel, stride, padding)       # (N, C_out*k*k, H*W)
+        if x.requires_grad:
+            gx = np.einsum("if,nfl->nil", w2d, gcols, optimize=True)
+            x._accumulate(gx.reshape(x.shape))
+        if weight.requires_grad:
+            gw = np.einsum("nil,nfl->if", x2d, gcols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# pooling / resampling
+# ----------------------------------------------------------------------
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with non-overlapping or strided square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n * c, 1, -1)
+        gcols = np.repeat(g, kernel * kernel, axis=1) / (kernel * kernel)
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    argmax = cols.argmax(axis=1)                            # (N*C, L)
+    out = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n * c, -1)
+        gcols = np.zeros_like(cols)
+        np.put_along_axis(gcols, argmax[:, None, :], g[:, None, :], axis=1)
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling to (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling of the spatial axes by ``scale``."""
+    out = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    n, c, h, w = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# normalisation / misc composites
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)

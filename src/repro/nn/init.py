@@ -1,0 +1,38 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape, rng: np.random.Generator, fan_in: int | None = None,
+                   gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialisation for ReLU-family networks."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    std = gain / np.sqrt(max(fan_in, 1))
+    return rng.standard_normal(shape) * std
+
+
+def xavier_uniform(shape, rng: np.random.Generator,
+                   fan_in: int | None = None,
+                   fan_out: int | None = None) -> np.ndarray:
+    """Glorot-uniform initialisation for tanh/sigmoid networks."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    if fan_out is None:
+        fan_out = shape[0]
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

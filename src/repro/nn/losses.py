@@ -1,0 +1,53 @@
+"""Loss functions used across the reproduction.
+
+Includes the generic reconstruction / classification losses that the CAE
+loss equations (1)-(10) in :mod:`repro.core.losses` are assembled from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def l1_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error  ``E[|pred - target|]`` (paper eqs 1-4)."""
+    return (pred - target).abs().mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer labels.
+
+    Matches the paper's log-softmax formulation in eqs (5), (6), (8), (9).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    logp = F.log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = logp[np.arange(n), labels]
+    return -picked.mean()
+
+
+def binary_real_fake_loss(logits: Tensor, is_real: bool) -> Tensor:
+    """Adversarial loss on a 2-logit real/fake head.
+
+    The paper's discriminator Dr outputs two logits where index 1 means
+    "real" and index 0 means "fake" (eqs 5 and 8); this is cross-entropy
+    against the appropriate constant label.
+    """
+    n = logits.shape[0]
+    labels = np.full(n, 1 if is_real else 0, dtype=np.int64)
+    return cross_entropy(logits, labels)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of argmax predictions matching integer labels."""
+    pred = np.asarray(logits).argmax(axis=-1)
+    return float((pred == np.asarray(labels)).mean())

@@ -1,0 +1,27 @@
+"""Model checkpointing: save/load module state dicts as ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Serialise a module's state dict to ``path`` (npz)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load a state dict saved by :func:`save_state` into ``module``."""
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)

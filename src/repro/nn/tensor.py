@@ -1,0 +1,495 @@
+"""Tape-based reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` deep-learning substrate.
+The paper trains its networks with PyTorch; this environment has no deep
+learning framework installed, so we implement the required subset from
+scratch: a :class:`Tensor` wrapping a ``numpy.ndarray`` that records the
+operations applied to it and can backpropagate gradients through them.
+
+Design notes
+------------
+* Gradients are accumulated into ``tensor.grad`` (a plain ndarray) during
+  :meth:`Tensor.backward`, which performs a topological sort of the tape.
+* Broadcasting is supported for elementwise ops; gradients are un-broadcast
+  (summed over broadcast axes) before accumulation.
+* Heavy structured ops (convolution, pooling) live in
+  :mod:`repro.nn.functional` and register custom backward closures through
+  the same mechanism used here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used when tensors are created from python scalars/lists."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = np.dtype(dtype)
+
+
+def get_default_dtype():
+    """Return the current default floating dtype for new tensors."""
+    return _DEFAULT_DTYPE
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    ``shape`` is the original operand shape.  Handles both prepended axes
+    and size-1 axes that were expanded.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that supports reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array content.  Lists and scalars are converted to float arrays.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` on backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "retains_grad")
+
+    def __init__(self, data, requires_grad: bool = False, name: Optional[str] = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        elif not np.issubdtype(data.dtype, np.floating):
+            data = data.astype(_DEFAULT_DTYPE)
+        self.data: np.ndarray = data
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+        self.retains_grad = False
+
+    def retain_grad(self) -> "Tensor":
+        """Keep this tensor's gradient after backward (white-box explainers
+        like Grad-CAM read gradients at interior feature maps)."""
+        self.retains_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (not a copy)."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a result tensor wired into the autodiff tape."""
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a copy participating in the graph (identity op)."""
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+        return Tensor._make(self.data.copy(), (self,), backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without an explicit gradient "
+                                 "requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} does not match "
+                                 f"tensor shape {self.data.shape}")
+
+        # Topological order over the tape.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Seed the output gradient, then sweep in reverse topological order.
+        # Backward closures accumulate directly into parent .grad; interior
+        # node gradients are released after use to bound memory.
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Interior nodes are re-created on every forward pass, so
+                # their gradient buffer can be dropped immediately unless
+                # explicitly retained.
+                if not node.retains_grad:
+                    node.grad = None
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data ** 2))
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * scale)
+        return Tensor._make(self.data * scale, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data > low) & (self.data < high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False, eps: float = 0.0) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        if eps:
+            out = out + eps
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                o = np.expand_dims(o, axis)
+            mask = (self.data == o)
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            self._accumulate(mask * g / counts)
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(lead + (-1,))
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+        return Tensor._make(out_data, (self,), backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two axes symmetrically (NCHW images)."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
+
+        def backward(grad: np.ndarray) -> None:
+            slices = tuple([slice(None)] * (self.ndim - 2)
+                           + [slice(padding, -padding)] * 2)
+            self._accumulate(grad[slices])
+        return Tensor._make(np.pad(self.data, pad_width), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                ga = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(gb, other.shape))
+        return Tensor._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            parts = np.split(grad, len(tensors), axis=axis)
+            for t, g in zip(tensors, parts):
+                t._accumulate(np.squeeze(g, axis=axis))
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(shape, rng: Optional[np.random.Generator] = None,
+          scale: float = 1.0, requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)

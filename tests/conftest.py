@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny datasets and trained models reused across tests.
+
+Training fixtures are session-scoped and deliberately small (16x16
+images, few iterations) so the whole suite runs in minutes on CPU while
+still exercising real training dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.classifiers import SmallResNet, train_classifier
+from repro.core import CAEModel, train_cae
+from repro.data import make_dataset
+
+
+TINY_SIZE = 16
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ReproConfig:
+    return ReproConfig(image_size=TINY_SIZE, base_channels=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_set():
+    return make_dataset("brain_tumor1", "train", image_size=TINY_SIZE,
+                        seed=0, counts={0: 24, 1: 24})
+
+
+@pytest.fixture(scope="session")
+def tiny_test_set():
+    return make_dataset("brain_tumor1", "test", image_size=TINY_SIZE,
+                        seed=0, counts={0: 8, 1: 8})
+
+
+@pytest.fixture(scope="session")
+def tiny_oct_set():
+    return make_dataset("oct", "train", image_size=TINY_SIZE, seed=0,
+                        counts={0: 6, 1: 6, 2: 6, 3: 6})
+
+
+@pytest.fixture(scope="session")
+def tiny_classifier(tiny_train_set) -> SmallResNet:
+    return train_classifier(tiny_train_set, epochs=6, width=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_cae(tiny_train_set, tiny_config) -> CAEModel:
+    return train_cae(tiny_train_set, iterations=25, batch_size=4,
+                     config=tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_manifold(tiny_cae, tiny_train_set):
+    return tiny_cae.build_manifold(tiny_train_set)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

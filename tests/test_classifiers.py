@@ -1,0 +1,80 @@
+"""Unit tests for the black-box classifier and its trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.classifiers import ClassifierTrainer, SmallResNet, train_classifier
+from repro.data import ImageDataset
+
+
+class TestSmallResNet:
+    def test_logits_shape(self, rng):
+        model = SmallResNet(num_classes=3, width=8)
+        logits = model(nn.Tensor(rng.random((2, 1, 16, 16))))
+        assert logits.shape == (2, 3)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        model = SmallResNet(num_classes=4, width=8)
+        proba = model.predict_proba(rng.random((5, 1, 16, 16)))
+        assert proba.shape == (5, 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_argmax_consistent(self, rng):
+        model = SmallResNet(num_classes=2, width=8)
+        images = rng.random((6, 1, 16, 16))
+        assert np.all(model.predict(images)
+                      == model.predict_proba(images).argmax(axis=1))
+
+    def test_forward_with_features(self, rng):
+        model = SmallResNet(num_classes=2, width=8)
+        logits, feats = model.forward_with_features(
+            nn.Tensor(rng.random((1, 1, 16, 16))))
+        assert logits.shape == (1, 2)
+        assert feats.shape == (1, 32, 4, 4)   # width*4 at 1/4 resolution
+
+    def test_forward_with_all_features(self, rng):
+        model = SmallResNet(num_classes=2, width=8)
+        __, feats = model.forward_with_all_features(
+            nn.Tensor(rng.random((1, 1, 16, 16))))
+        assert len(feats) == 4
+        assert feats[0].shape[2] == 16      # stem keeps resolution
+
+    def test_seed_determinism(self, rng):
+        images = rng.random((2, 1, 16, 16))
+        a = SmallResNet(2, width=8, seed=3).predict_proba(images)
+        b = SmallResNet(2, width=8, seed=3).predict_proba(images)
+        assert np.allclose(a, b)
+
+    def test_batched_inference_matches_full(self, rng):
+        model = SmallResNet(num_classes=2, width=8)
+        model.eval()
+        images = rng.random((7, 1, 16, 16))
+        assert np.allclose(model.predict_proba(images, batch_size=3),
+                           model.predict_proba(images, batch_size=7),
+                           atol=1e-10)
+
+
+class TestTrainer:
+    def test_training_improves_train_accuracy(self, tiny_train_set):
+        model = SmallResNet(2, width=8, seed=0)
+        trainer = ClassifierTrainer(model, rng=np.random.default_rng(0))
+        history = trainer.fit(tiny_train_set, epochs=4, batch_size=8)
+        assert history.accuracies[-1] > history.accuracies[0]
+        assert history.losses[-1] < history.losses[0]
+        assert history.wall_time > 0
+
+    def test_fixture_classifier_beats_chance(self, tiny_classifier,
+                                             tiny_test_set):
+        accuracy = float((tiny_classifier.predict(tiny_test_set.images)
+                          == tiny_test_set.labels).mean())
+        assert accuracy > 0.6
+
+    def test_evaluate_helper(self, tiny_classifier, tiny_test_set):
+        trainer = ClassifierTrainer.__new__(ClassifierTrainer)
+        trainer.model = tiny_classifier
+        assert 0.0 <= trainer.evaluate(tiny_test_set) <= 1.0
+
+    def test_train_classifier_sets_eval_mode(self, tiny_train_set):
+        model = train_classifier(tiny_train_set, epochs=1, width=8)
+        assert not model.training

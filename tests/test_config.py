@@ -1,0 +1,74 @@
+"""Unit tests for the configuration module."""
+
+import numpy as np
+import pytest
+
+from repro.config import (DATASET_NAMES, TABLE1_COUNTS, TASKS, LossWeights,
+                          ReproConfig, _env_float, _env_int)
+
+
+class TestLossWeights:
+    def test_paper_defaults(self):
+        """Section IV.A: λ1=10, λ2=1, λ3=1, λ4=10, λ5=1, λ6=1, φ1=1, φ2=2."""
+        w = LossWeights()
+        assert w.lambda1 == 10.0
+        assert w.lambda2 == 1.0
+        assert w.lambda3 == 1.0
+        assert w.lambda4 == 10.0
+        assert w.lambda5 == 1.0
+        assert w.lambda6 == 1.0
+        assert w.phi1 == 1.0
+        assert w.phi2 == 2.0
+
+    def test_override(self):
+        assert LossWeights(lambda3=0.0).lambda3 == 0.0
+
+
+class TestReproConfig:
+    def test_paper_cs_dim(self):
+        assert ReproConfig().cs_dim == 8     # paper: 8-d CS code
+
+    def test_is_shape_quarter_resolution(self):
+        cfg = ReproConfig(image_size=32, base_channels=16)
+        c, h, w = cfg.is_shape
+        assert (h, w) == (8, 8)              # 1/4 spatial, as in the paper
+        assert c == 32                       # base * 2
+
+    def test_adam_settings_match_paper(self):
+        cfg = ReproConfig()
+        assert cfg.lr == 1e-4
+        assert cfg.weight_decay == 1e-4
+
+    def test_env_int_parsing(self, monkeypatch):
+        monkeypatch.setenv("X_TEST_INT", "17")
+        assert _env_int("X_TEST_INT", 3) == 17
+        monkeypatch.setenv("X_TEST_INT", "junk")
+        assert _env_int("X_TEST_INT", 3) == 3
+
+    def test_env_float_parsing(self, monkeypatch):
+        monkeypatch.setenv("X_TEST_F", "2.5")
+        assert _env_float("X_TEST_F", 1.0) == 2.5
+        monkeypatch.setenv("X_TEST_F", "junk")
+        assert _env_float("X_TEST_F", 1.0) == 1.0
+
+    def test_image_size_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IMAGE_SIZE", "64")
+        assert ReproConfig().image_size == 64
+
+
+class TestTableOne:
+    def test_all_datasets_present(self):
+        assert set(DATASET_NAMES) == {"oct", "brain_tumor1", "brain_tumor2",
+                                      "chest_xray", "face"}
+
+    def test_paper_counts_verbatim(self):
+        """Spot-check the Table I numbers transcribed from the paper."""
+        assert TABLE1_COUNTS["oct"]["train_abnormal"] == 24000
+        assert TABLE1_COUNTS["brain_tumor2"]["test_abnormal"] == 1623
+        assert TABLE1_COUNTS["face"]["train_normal"] == 23243
+        assert TABLE1_COUNTS["chest_xray"]["test_normal"] == 234
+
+    def test_tasks_labels(self):
+        assert TASKS["face"] == "gender"
+        assert TASKS["chest_xray"] == "pneumonia"
+        assert set(TASKS) == set(TABLE1_COUNTS)

@@ -1,0 +1,324 @@
+"""Unit tests for the CAE core: networks, losses, BBCFE, manifold, model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import LossWeights, ReproConfig
+from repro.core import (CAEModel, CAETrainer, ClassAssociatedManifold,
+                        Decoder, Discriminator, Encoder, PairSampler,
+                        train_cae)
+from repro.core import losses as L
+from repro.core.bbcfe import discriminator_step, generator_step
+from repro.data import ImageDataset
+
+
+SIZE = 16
+BASE = 8
+
+
+@pytest.fixture()
+def encoder():
+    return Encoder(1, BASE, cs_dim=8, image_size=SIZE, seed=0)
+
+
+@pytest.fixture()
+def decoder():
+    return Decoder(1, BASE, cs_dim=8, image_size=SIZE, seed=1)
+
+
+@pytest.fixture()
+def discriminator():
+    return Discriminator(1, BASE, num_classes=2, seed=2)
+
+
+class TestNetworks:
+    def test_encoder_code_shapes(self, encoder, rng):
+        x = nn.Tensor(rng.random((3, 1, SIZE, SIZE)))
+        cs, is_code = encoder(x)
+        assert cs.shape == (3, 8)
+        assert is_code.shape == (3, BASE * 2, SIZE // 4, SIZE // 4)
+
+    def test_encoder_heads_match_forward(self, encoder, rng):
+        x = nn.Tensor(rng.random((2, 1, SIZE, SIZE)))
+        cs, is_code = encoder(x)
+        assert np.allclose(encoder.encode_class(x).data, cs.data)
+        assert np.allclose(encoder.encode_individual(x).data, is_code.data)
+
+    def test_decoder_output_shape_and_range(self, decoder, rng):
+        cs = nn.Tensor(rng.standard_normal((3, 8)))
+        is_code = nn.Tensor(rng.standard_normal((3, BASE * 2, SIZE // 4,
+                                                 SIZE // 4)))
+        out = decoder(cs, is_code)
+        assert out.shape == (3, 1, SIZE, SIZE)
+        assert out.data.min() >= 0.0
+        assert out.data.max() <= 1.0
+
+    def test_decoder_depends_on_cs_code(self, decoder, rng):
+        is_code = nn.Tensor(rng.standard_normal((1, BASE * 2, SIZE // 4,
+                                                 SIZE // 4)))
+        a = decoder(nn.Tensor(rng.standard_normal((1, 8))), is_code).data
+        b = decoder(nn.Tensor(rng.standard_normal((1, 8))), is_code).data
+        assert not np.allclose(a, b)
+
+    def test_discriminator_head_shapes(self, discriminator, rng):
+        x = nn.Tensor(rng.random((4, 1, SIZE, SIZE)))
+        dr, dc = discriminator(x)
+        assert dr.shape == (4, 2)
+        assert dc.shape == (4, 2)
+
+
+class TestLossEquations:
+    def test_recon_losses_zero_for_identical(self, rng):
+        a = nn.Tensor(rng.random((2, 3)))
+        assert L.recon_class_code_loss(a, a).item() == 0.0
+        assert L.recon_image_loss(a, a).item() == 0.0
+
+    def test_cyclic_loss_positive_for_different(self, rng):
+        a = nn.Tensor(rng.random((2, 4)))
+        b = nn.Tensor(rng.random((2, 4)))
+        assert L.cyclic_loss(a, b).item() > 0
+
+    def test_generator_adv_wants_real(self):
+        fake_scored_real = nn.Tensor(np.array([[0.0, 50.0]]))
+        fake_scored_fake = nn.Tensor(np.array([[50.0, 0.0]]))
+        assert L.generator_adversarial_loss(fake_scored_real).item() < \
+            L.generator_adversarial_loss(fake_scored_fake).item()
+
+    def test_discriminator_adv_wants_split(self):
+        good_fake = nn.Tensor(np.array([[50.0, 0.0]]))   # scored fake
+        good_real = nn.Tensor(np.array([[0.0, 50.0]]))   # scored real
+        low = L.discriminator_adversarial_loss(good_fake, good_real).item()
+        high = L.discriminator_adversarial_loss(good_real, good_fake).item()
+        assert low < high
+
+    def test_classification_losses_use_labels(self):
+        logits = nn.Tensor(np.array([[10.0, -10.0]]))
+        right = L.generator_classification_loss(logits, np.array([0])).item()
+        wrong = L.generator_classification_loss(logits, np.array([1])).item()
+        assert right < wrong
+        assert L.discriminator_classification_loss(
+            logits, np.array([0])).item() == pytest.approx(right)
+
+
+class TestPairSampler:
+    def _dataset(self, labels):
+        labels = np.asarray(labels)
+        return ImageDataset(np.random.default_rng(0).random(
+            (len(labels), 1, SIZE, SIZE)), labels)
+
+    def test_pairs_always_cross_class(self, rng):
+        sampler = PairSampler(self._dataset([0] * 5 + [1] * 5), rng=rng)
+        __, y_a, __, y_b = sampler.sample(32)
+        assert np.all(y_a != y_b)
+
+    def test_multiclass_pairs_cross_class(self, rng):
+        sampler = PairSampler(self._dataset([0, 0, 1, 1, 2, 2, 3, 3]),
+                              rng=rng)
+        __, y_a, __, y_b = sampler.sample(64)
+        assert np.all(y_a != y_b)
+
+    def test_single_class_raises(self, rng):
+        with pytest.raises(ValueError):
+            PairSampler(self._dataset([0, 0, 0]), rng=rng)
+
+
+class TestBBCFESteps:
+    def _pair_batch(self, rng, n=2):
+        x_a = rng.random((n, 1, SIZE, SIZE))
+        x_b = rng.random((n, 1, SIZE, SIZE))
+        return x_a, np.zeros(n, dtype=int), x_b, np.ones(n, dtype=int)
+
+    def test_generator_step_components(self, encoder, decoder,
+                                       discriminator, rng):
+        x_a, y_a, x_b, y_b = self._pair_batch(rng)
+        loss, parts = generator_step(encoder, decoder, discriminator,
+                                     x_a, y_a, x_b, y_b, LossWeights())
+        for key in ("recon_image", "recon_cs", "recon_is", "cyclic",
+                    "adv_gen", "cls_gen", "total_gen"):
+            assert key in parts
+            assert np.isfinite(parts[key]) if not isinstance(
+                parts[key], np.ndarray) else True
+        assert parts["fake_a"].shape == x_a.shape
+
+    def test_generator_step_produces_gradients(self, encoder, decoder,
+                                               discriminator, rng):
+        x_a, y_a, x_b, y_b = self._pair_batch(rng)
+        loss, __ = generator_step(encoder, decoder, discriminator,
+                                  x_a, y_a, x_b, y_b, LossWeights())
+        loss.backward()
+        grads = [p.grad for p in encoder.parameters()]
+        assert any(g is not None and np.abs(g).max() > 0 for g in grads)
+
+    def test_discriminator_step_gradients(self, discriminator, rng):
+        x_a, y_a, x_b, y_b = self._pair_batch(rng)
+        fake = rng.random(x_a.shape)
+        loss, parts = discriminator_step(discriminator, x_a, y_a, x_b, y_b,
+                                         fake, fake, LossWeights())
+        loss.backward()
+        grads = [p.grad for p in discriminator.parameters()]
+        assert any(g is not None and np.abs(g).max() > 0 for g in grads)
+        assert parts["total_disc"] == pytest.approx(loss.item())
+
+    def test_weights_scale_objective(self, encoder, decoder,
+                                     discriminator, rng):
+        x_a, y_a, x_b, y_b = self._pair_batch(rng)
+        small, __ = generator_step(encoder, decoder, discriminator, x_a, y_a,
+                                   x_b, y_b, LossWeights(lambda1=1.0))
+        big, __ = generator_step(encoder, decoder, discriminator, x_a, y_a,
+                                 x_b, y_b, LossWeights(lambda1=100.0))
+        assert big.item() > small.item()
+
+
+class TestManifold:
+    def _manifold(self, rng):
+        codes = np.vstack([rng.standard_normal((10, 8)),
+                           rng.standard_normal((10, 8)) + 5.0])
+        labels = np.repeat([0, 1], 10)
+        return ClassAssociatedManifold(codes, labels)
+
+    def test_centroids(self, rng):
+        m = self._manifold(rng)
+        assert m.centroid(1).mean() > m.centroid(0).mean()
+
+    def test_counter_classes(self, rng):
+        m = self._manifold(rng)
+        assert m.counter_classes(0) == (1,)
+
+    def test_plan_path_endpoints(self, rng):
+        m = self._manifold(rng)
+        code = m.codes[0]
+        path = m.plan_path(code, 0, 1, steps=5)
+        assert path.steps == 5
+        assert np.allclose(path.codes[0], code)
+        # destination is an actual class-1 bank code
+        bank = m.codes_of_class(1)
+        assert any(np.allclose(path.codes[-1], c) for c in bank)
+
+    def test_plan_path_centroid_endpoint(self, rng):
+        m = self._manifold(rng)
+        path = m.plan_path(m.codes[0], 0, 1, steps=3, endpoint="centroid")
+        assert np.allclose(path.codes[-1], m.centroid(1))
+
+    def test_plan_path_bad_endpoint_raises(self, rng):
+        with pytest.raises(ValueError):
+            self._manifold(rng).plan_path(np.zeros(8), 0, 1,
+                                          endpoint="bogus")
+
+    def test_nearest_counter_code_is_nearest(self, rng):
+        m = self._manifold(rng)
+        code = m.codes[0]
+        nearest = m.nearest_counter_code(code, 1)
+        bank = m.codes_of_class(1)
+        dists = ((bank - code) ** 2).sum(axis=1)
+        assert np.allclose(nearest, bank[dists.argmin()])
+
+    def test_interpolate_endpoints(self, rng):
+        m = self._manifold(rng)
+        codes = m.interpolate(np.zeros(8), np.ones(8), steps=4)
+        assert np.allclose(codes[0], 0.0)
+        assert np.allclose(codes[-1], 1.0)
+
+    def test_smote_codes_shape(self, rng):
+        m = self._manifold(rng)
+        samples = m.smote_codes(0, 25, rng=rng)
+        assert samples.shape == (25, 8)
+
+    def test_separation_score_ordering(self, rng):
+        separated = self._manifold(rng)
+        mixed = ClassAssociatedManifold(rng.standard_normal((20, 8)),
+                                        np.repeat([0, 1], 10))
+        assert separated.separation_score() > mixed.separation_score()
+
+    def test_projection_shapes(self, rng):
+        m = self._manifold(rng)
+        assert m.project("pca").shape == (20, 2)
+        extra = rng.standard_normal((5, 8))
+        assert m.project("pca", extra_codes=extra).shape == (25, 2)
+
+    def test_projection_bad_method_raises(self, rng):
+        with pytest.raises(ValueError):
+            self._manifold(rng).project("umap")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassAssociatedManifold(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            ClassAssociatedManifold(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestCAEModel:
+    def test_encode_decode_shapes(self, tiny_cae, tiny_train_set):
+        images = tiny_train_set.images[:3]
+        cs, is_codes = tiny_cae.encode(images)
+        assert cs.shape == (3, tiny_cae.config.cs_dim)
+        decoded = tiny_cae.decode(cs, is_codes)
+        assert decoded.shape == images.shape
+
+    def test_encode_single_image(self, tiny_cae, tiny_train_set):
+        cs, is_code = tiny_cae.encode(tiny_train_set.images[0])
+        assert cs.shape[0] == 1
+
+    def test_decode_broadcasts_is_code(self, tiny_cae, tiny_train_set):
+        cs, is_codes = tiny_cae.encode(tiny_train_set.images[:4])
+        out = tiny_cae.decode(cs, is_codes[:1])
+        assert out.shape[0] == 4
+
+    def test_decode_broadcasts_cs_code(self, tiny_cae, tiny_train_set):
+        cs, is_codes = tiny_cae.encode(tiny_train_set.images[:4])
+        out = tiny_cae.decode(cs[:1], is_codes)
+        assert out.shape[0] == 4
+
+    def test_swap_codes_shapes(self, tiny_cae, tiny_train_set):
+        a = tiny_train_set.images[:2]
+        b = tiny_train_set.images[2:4]
+        fa, fb = tiny_cae.swap_codes(a, b)
+        assert fa.shape == a.shape
+        assert fb.shape == b.shape
+
+    def test_reconstruction_better_than_noise(self, tiny_cae,
+                                              tiny_train_set):
+        images = tiny_train_set.images[:4]
+        recon = tiny_cae.reconstruct(images)
+        noise = np.random.default_rng(0).random(images.shape)
+        assert np.abs(recon - images).mean() < np.abs(noise - images).mean()
+
+    def test_build_manifold(self, tiny_cae, tiny_train_set):
+        manifold = tiny_cae.build_manifold(tiny_train_set)
+        assert len(manifold.codes) == len(tiny_train_set)
+        assert manifold.classes == (0, 1)
+
+    def test_save_load_roundtrip(self, tiny_cae, tiny_train_set, tmp_path,
+                                 tiny_config):
+        directory = str(tmp_path / "cae")
+        tiny_cae.save(directory)
+        fresh = CAEModel(num_classes=2, config=tiny_config)
+        fresh.load(directory)
+        images = tiny_train_set.images[:2]
+        assert np.allclose(fresh.encode_class(images),
+                           tiny_cae.encode_class(images))
+
+
+class TestTrainer:
+    def test_history_recorded(self, tiny_train_set, tiny_config):
+        model = CAEModel(2, tiny_config)
+        trainer = CAETrainer(model, tiny_config)
+        history = trainer.fit(tiny_train_set, iterations=3, batch_size=2)
+        assert len(history.steps) == 3
+        assert history.wall_time > 0
+        assert len(history.series("total_gen")) == 3
+
+    def test_training_reduces_reconstruction(self, tiny_train_set,
+                                             tiny_config):
+        model = CAEModel(2, tiny_config)
+        trainer = CAETrainer(model, tiny_config)
+        history = trainer.fit(tiny_train_set, iterations=20, batch_size=4)
+        first = np.mean(history.series("recon_image")[:4])
+        last = np.mean(history.series("recon_image")[-4:])
+        assert last < first
+
+    def test_train_cae_convenience(self, tiny_train_set, tiny_config):
+        model = train_cae(tiny_train_set, iterations=2, batch_size=2,
+                          config=tiny_config)
+        assert isinstance(model, CAEModel)
+        assert not model.encoder.training   # left in eval mode

@@ -1,0 +1,245 @@
+"""Unit tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (DegradationCurve, class_reassignment_rate,
+                        decision_surface, evaluate_methods,
+                        false_positive_case, gradient_descent_path,
+                        greedy_walk_path, guided_path, latent_separability,
+                        localization_scores, perturbation_curve,
+                        pointing_game, probe_path, saliency_iou,
+                        saliency_time_ms, smote_validity, time_all_methods,
+                        trap_demo_2d)
+from repro.eval.perturbation import _select_patch_centers
+from repro.explain import CAEExplainer, GradCAMExplainer
+
+
+@pytest.fixture(scope="module")
+def cae_explainer(tiny_cae, tiny_manifold, tiny_classifier):
+    return CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier, steps=4)
+
+
+class TestDegradationCurve:
+    def test_aopc_pd_from_drops(self):
+        curve = DegradationCurve(np.array([0.1, 0.3, 0.2]))
+        assert curve.aopc == pytest.approx(0.2)
+        assert curve.pd == pytest.approx(0.3)
+
+    def test_patch_center_selection_non_overlapping(self):
+        saliency = np.zeros((8, 8))
+        saliency[2, 2] = 5.0
+        saliency[2, 3] = 4.0     # adjacent, should be suppressed
+        saliency[6, 6] = 3.0
+        centers = _select_patch_centers(saliency, 2, patch=3)
+        assert centers[0] == (2, 2)
+        assert centers[1] == (6, 6)
+
+    def test_perturbation_curve_runs(self, tiny_classifier, tiny_test_set):
+        explainer = GradCAMExplainer(tiny_classifier)
+        curve = perturbation_curve(explainer, tiny_classifier,
+                                   tiny_test_set.images[:3],
+                                   tiny_test_set.labels[:3],
+                                   n_patches=4, patch=3)
+        assert curve.drops.shape == (4,)
+        assert np.isfinite(curve.drops).all()
+
+    def test_informed_beats_random_saliency(self, tiny_classifier,
+                                            tiny_test_set):
+        """An explainer that knows the lesion mask must degrade the
+        classifier faster than a constant-saliency explainer."""
+        from repro.explain.base import Explainer, SaliencyResult
+
+        masks = {i: tiny_test_set.masks[i]
+                 for i in range(len(tiny_test_set))}
+        images = tiny_test_set.images
+        lookup = {images[i].tobytes(): i for i in range(len(images))}
+
+        class OracleExplainer(Explainer):
+            def explain(self, image, label, target_label=None):
+                idx = lookup[image.tobytes()]
+                return SaliencyResult(masks[idx] + 1e-6, label)
+
+        class ConstantExplainer(Explainer):
+            def explain(self, image, label, target_label=None):
+                return SaliencyResult(np.ones(image.shape[1:]), label)
+
+        abnormal = tiny_test_set.indices_of_class(1)[:4]
+        x, y = images[abnormal], tiny_test_set.labels[abnormal]
+        oracle = perturbation_curve(OracleExplainer(), tiny_classifier, x, y,
+                                    n_patches=6, patch=3)
+        constant = perturbation_curve(ConstantExplainer(), tiny_classifier,
+                                      x, y, n_patches=6, patch=3)
+        assert oracle.aopc > constant.aopc
+
+    def test_evaluate_methods_keys(self, tiny_classifier, tiny_test_set):
+        explainers = {"gradcam": GradCAMExplainer(tiny_classifier)}
+        curves = evaluate_methods(explainers, tiny_classifier,
+                                  tiny_test_set.images[:2],
+                                  tiny_test_set.labels[:2],
+                                  n_patches=3)
+        assert set(curves) == {"gradcam"}
+
+
+class TestReassignment:
+    def test_rate_bounds(self, tiny_cae, tiny_classifier, tiny_test_set):
+        rate = class_reassignment_rate(tiny_cae, tiny_classifier,
+                                       tiny_test_set, n_pairs=20)
+        assert 0.0 <= rate <= 1.0
+
+    def test_single_class_raises(self, tiny_cae, tiny_classifier,
+                                 tiny_test_set):
+        single = tiny_test_set.subset(tiny_test_set.indices_of_class(0))
+        with pytest.raises(ValueError):
+            class_reassignment_rate(tiny_cae, tiny_classifier, single)
+
+
+class TestSeparability:
+    def test_separable_codes_score_high(self, rng):
+        codes = np.vstack([rng.standard_normal((30, 8)),
+                           rng.standard_normal((30, 8)) + 6])
+        labels = np.repeat([0, 1], 30)
+        mean, std = latent_separability(codes, labels, n_splits=5,
+                                        n_estimators=10)
+        assert mean > 0.9
+        assert std >= 0
+
+    def test_random_codes_score_low(self, rng):
+        codes = rng.standard_normal((60, 8))
+        labels = np.repeat([0, 1], 30)
+        mean, __ = latent_separability(codes, labels, n_splits=5,
+                                       n_estimators=10)
+        assert mean < 0.8
+
+
+class TestSmoothness:
+    def test_smote_validity_keys_and_range(self, tiny_cae, tiny_manifold,
+                                           tiny_classifier, tiny_test_set):
+        __, is_code = tiny_cae.encode(tiny_test_set.images[0])
+        rates = smote_validity(tiny_cae, tiny_manifold, tiny_classifier,
+                               is_code, n_samples=10)
+        assert set(rates) == {0, 1}
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_probe_path_shapes(self, tiny_cae, tiny_manifold,
+                               tiny_classifier, tiny_test_set):
+        __, is_code = tiny_cae.encode(tiny_test_set.images[0])
+        probe = probe_path(tiny_cae, tiny_classifier,
+                           tiny_manifold.centroid(0),
+                           tiny_manifold.centroid(1), is_code,
+                           target_label=1, steps=6)
+        assert probe.probs.shape == (6,)
+        assert probe.images.shape[0] == 6
+        assert 0.0 <= probe.monotonicity <= 1.0
+
+    def test_monotonicity_of_monotone_series(self):
+        from repro.eval.smoothness import PathProbe
+        probe = PathProbe(np.array([0.1, 0.5, 0.9]), np.zeros((3, 1, 2, 2)))
+        assert probe.monotonicity == 1.0
+        assert probe.total_rise == pytest.approx(0.8)
+
+    def test_monotonicity_of_oscillating_series(self):
+        from repro.eval.smoothness import PathProbe
+        probe = PathProbe(np.array([0.5, 0.1, 0.9]), np.zeros((3, 1, 2, 2)))
+        assert probe.monotonicity == 0.5
+
+
+class TestLocalization:
+    def test_pointing_game_hit_and_miss(self):
+        mask = np.zeros((8, 8))
+        mask[4, 4] = 1.0
+        saliency_hit = np.zeros((8, 8))
+        saliency_hit[4, 4] = 1.0
+        saliency_miss = np.zeros((8, 8))
+        saliency_miss[0, 0] = 1.0
+        assert pointing_game(saliency_hit, mask) == 1.0
+        assert pointing_game(saliency_miss, mask) == 0.0
+
+    def test_pointing_game_tolerance(self):
+        mask = np.zeros((8, 8))
+        mask[4, 4] = 1.0
+        saliency = np.zeros((8, 8))
+        saliency[5, 5] = 1.0
+        assert pointing_game(saliency, mask, tolerance=1) == 1.0
+        assert pointing_game(saliency, mask, tolerance=0) == 0.0
+
+    def test_saliency_iou_perfect(self):
+        mask = np.zeros((10, 10))
+        mask[:5] = 1.0
+        assert saliency_iou(mask.copy(), mask, coverage=0.5) == 1.0
+
+    def test_localization_scores(self, tiny_classifier, tiny_test_set):
+        explainer = GradCAMExplainer(tiny_classifier)
+        abnormal = tiny_test_set.indices_of_class(1)[:3]
+        scores = localization_scores(
+            explainer, tiny_test_set.images[abnormal],
+            tiny_test_set.labels[abnormal], tiny_test_set.masks[abnormal])
+        assert scores["n"] == 3
+        assert 0.0 <= scores["pointing"] <= 1.0
+
+    def test_localization_skips_empty_masks(self, tiny_classifier,
+                                            tiny_test_set):
+        explainer = GradCAMExplainer(tiny_classifier)
+        normal = tiny_test_set.indices_of_class(0)[:2]
+        scores = localization_scores(
+            explainer, tiny_test_set.images[normal],
+            tiny_test_set.labels[normal], tiny_test_set.masks[normal])
+        assert scores["n"] == 0
+
+
+class TestTiming:
+    def test_saliency_time_positive(self, tiny_classifier, tiny_test_set):
+        explainer = GradCAMExplainer(tiny_classifier)
+        ms = saliency_time_ms(explainer, tiny_test_set.images[:3],
+                              tiny_test_set.labels[:3])
+        assert ms > 0
+
+    def test_time_all_methods(self, tiny_classifier, tiny_test_set):
+        times = time_all_methods({"gradcam": GradCAMExplainer(tiny_classifier)},
+                                 tiny_test_set.images, tiny_test_set.labels,
+                                 n_images=2)
+        assert set(times) == {"gradcam"}
+
+
+class TestTraps:
+    def test_decision_surface_has_flip_region(self):
+        x = np.linspace(-2, 4, 50)
+        probs = decision_surface(x, np.zeros_like(x))
+        assert probs[0] > 0.5       # start in class A
+        assert probs[-1] < 0.5      # flip region toward +x
+
+    def test_gradient_path_gets_trapped(self):
+        trace = gradient_descent_path((-1.2, 1.0))
+        assert not trace.flipped    # the paper's Fig 1 point ①
+
+    def test_guided_path_flips(self):
+        trace = guided_path((-1.2, 1.0))
+        assert trace.flipped        # the paper's Fig 1 point ④⑤
+
+    def test_greedy_walk_monotone_probs(self):
+        trace = greedy_walk_path((-1.2, 1.0),
+                                 rng=np.random.default_rng(0))
+        assert np.all(np.diff(trace.probs) <= 1e-12)
+
+    def test_trap_demo_bundle(self):
+        demo = trap_demo_2d()
+        assert set(demo) == {"gradient", "greedy_walk", "guided"}
+        assert demo["guided"].flipped
+
+    def test_path_length_positive(self):
+        trace = guided_path((-1.2, 1.0), steps=10)
+        assert trace.length > 0
+
+    def test_false_positive_case_structure(self, tiny_classifier,
+                                           tiny_test_set):
+        idx = tiny_test_set.indices_of_class(1)[0]
+        image = tiny_test_set.images[idx]
+        mask = tiny_test_set.masks[idx]
+        fake_saliency = np.random.default_rng(0).random(mask.shape)
+        case = false_positive_case(tiny_classifier, image, 1, mask,
+                                   fake_saliency)
+        assert set(case) == {"false_positive", "true_positive", "both"}
+        for entry in case.values():
+            assert "drop" in entry
+            assert "flipped" in entry
+            assert entry["area"] >= 0

@@ -1,0 +1,208 @@
+"""Unit tests for the CAE explainer and all baseline explainers."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (CAEExplainer, FullGradExplainer, GradCAMExplainer,
+                           ICAMExplainer, LAGANExplainer, LimeExplainer,
+                           OcclusionExplainer, SaliencyResult,
+                           SimpleFullGradExplainer, SmoothFullGradExplainer,
+                           StylexExplainer, TABLE2_METHODS, TSCAMExplainer,
+                           build_all_explainers, default_counter_label,
+                           train_icam, train_lagan, train_stylex, train_tscam)
+
+
+@pytest.fixture(scope="module")
+def abnormal_image(tiny_train_set):
+    idx = tiny_train_set.indices_of_class(1)[0]
+    return tiny_train_set.images[idx]
+
+
+def check_saliency(result, size=16):
+    assert isinstance(result, SaliencyResult)
+    assert result.saliency.shape == (size, size)
+    assert np.isfinite(result.saliency).all()
+    assert result.saliency.min() >= 0.0 or result.saliency.max() > 0.0
+
+
+class TestSaliencyResult:
+    def test_normalized_range(self, rng):
+        result = SaliencyResult(rng.random((8, 8)) * 10, label=1)
+        normed = result.normalized()
+        assert normed.min() == pytest.approx(0.0)
+        assert normed.max() == pytest.approx(1.0)
+
+    def test_normalized_constant_map(self):
+        result = SaliencyResult(np.ones((4, 4)), label=0)
+        assert np.allclose(result.normalized(), 0.0)
+
+    def test_top_pixels_ordering(self):
+        saliency = np.zeros((4, 4))
+        saliency[2, 3] = 5.0
+        saliency[1, 1] = 3.0
+        top = SaliencyResult(saliency, label=0).top_pixels(2)
+        assert list(top[0]) == [2, 3]
+        assert list(top[1]) == [1, 1]
+
+    def test_default_counter_label(self):
+        assert default_counter_label(2, 4) == 0
+        assert default_counter_label(0, 4) == 1
+        assert default_counter_label(0, 1) == 0
+
+
+class TestGradientExplainers:
+    def test_gradcam(self, tiny_classifier, abnormal_image):
+        result = GradCAMExplainer(tiny_classifier).explain(abnormal_image, 1)
+        check_saliency(result)
+        assert result.saliency.min() >= 0.0      # ReLU'd CAM
+
+    def test_fullgrad(self, tiny_classifier, abnormal_image):
+        result = FullGradExplainer(tiny_classifier).explain(abnormal_image, 1)
+        check_saliency(result)
+
+    def test_simple_fullgrad(self, tiny_classifier, abnormal_image):
+        result = SimpleFullGradExplainer(tiny_classifier).explain(
+            abnormal_image, 1)
+        check_saliency(result)
+
+    def test_smooth_fullgrad_deterministic(self, tiny_classifier,
+                                           abnormal_image):
+        a = SmoothFullGradExplainer(tiny_classifier, n_samples=3,
+                                    seed=1).explain(abnormal_image, 1)
+        b = SmoothFullGradExplainer(tiny_classifier, n_samples=3,
+                                    seed=1).explain(abnormal_image, 1)
+        assert np.allclose(a.saliency, b.saliency)
+
+    def test_gradcam_differs_across_labels(self, tiny_classifier,
+                                           abnormal_image):
+        explainer = GradCAMExplainer(tiny_classifier)
+        a = explainer.explain(abnormal_image, 0).saliency
+        b = explainer.explain(abnormal_image, 1).saliency
+        assert not np.allclose(a, b)
+
+
+class TestPerturbationExplainers:
+    def test_lime(self, tiny_classifier, abnormal_image):
+        explainer = LimeExplainer(tiny_classifier, grid=4, n_samples=40,
+                                  seed=0)
+        result = explainer.explain(abnormal_image, 1)
+        check_saliency(result)
+        assert "coef" in result.meta
+
+    def test_lime_deterministic(self, tiny_classifier, abnormal_image):
+        a = LimeExplainer(tiny_classifier, grid=4, n_samples=30,
+                          seed=2).explain(abnormal_image, 1)
+        b = LimeExplainer(tiny_classifier, grid=4, n_samples=30,
+                          seed=2).explain(abnormal_image, 1)
+        assert np.allclose(a.saliency, b.saliency)
+
+    def test_lime_saliency_piecewise_constant(self, tiny_classifier,
+                                              abnormal_image):
+        result = LimeExplainer(tiny_classifier, grid=4, n_samples=30,
+                               seed=0).explain(abnormal_image, 1)
+        # 4x4 grid on 16x16 image -> 4x4 blocks of constant value
+        block = result.saliency[:4, :4]
+        assert np.allclose(block, block[0, 0])
+
+    def test_occlusion(self, tiny_classifier, abnormal_image):
+        result = OcclusionExplainer(tiny_classifier, window=4,
+                                    stride=4).explain(abnormal_image, 1)
+        check_saliency(result)
+        assert "base_prob" in result.meta
+
+
+class TestTrainedBaselines:
+    def test_tscam(self, tiny_train_set, abnormal_image):
+        model = train_tscam(tiny_train_set, epochs=1, dim=8)
+        result = TSCAMExplainer(model).explain(abnormal_image, 1)
+        check_saliency(result)
+
+    def test_stylex(self, tiny_train_set, tiny_classifier, abnormal_image):
+        autoencoder = train_stylex(tiny_train_set, tiny_classifier, epochs=1)
+        explainer = StylexExplainer(autoencoder, tiny_classifier, steps=3)
+        result = explainer.explain(abnormal_image, 1)
+        check_saliency(result)
+        assert "z_shift" in result.meta
+
+    def test_lagan(self, tiny_train_set, tiny_classifier, abnormal_image):
+        mask_gen = train_lagan(tiny_train_set, tiny_classifier, epochs=1)
+        result = LAGANExplainer(mask_gen, tiny_classifier).explain(
+            abnormal_image, 1)
+        check_saliency(result)
+        assert result.saliency.max() <= 1.0   # sigmoid mask
+
+    def test_icam(self, tiny_train_set, tiny_config, abnormal_image):
+        model = train_icam(tiny_train_set, iterations=3, batch_size=2,
+                           config=tiny_config)
+        manifold = model.build_manifold(tiny_train_set)
+        result = ICAMExplainer(model, manifold, 2).explain(abnormal_image, 1)
+        check_saliency(result)
+
+    def test_icam_encode_attribute(self, tiny_train_set, tiny_config):
+        model = train_icam(tiny_train_set, iterations=2, batch_size=2,
+                           config=tiny_config)
+        codes = model.encode_attribute(tiny_train_set.images[:3])
+        assert codes.shape == (3, tiny_config.cs_dim)
+
+
+class TestCAEExplainer:
+    @pytest.fixture()
+    def explainer(self, tiny_cae, tiny_manifold, tiny_classifier):
+        return CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier,
+                            steps=5)
+
+    def test_explain(self, explainer, abnormal_image):
+        result = explainer.explain(abnormal_image, 1, 0)
+        check_saliency(result)
+        assert result.target_label == 0
+        assert result.meta["series_len"] >= 2
+
+    def test_generate_series_shapes(self, explainer, abnormal_image):
+        series, probs = explainer.generate_series(abnormal_image, 1, 0)
+        assert series.shape[1:] == abnormal_image.shape
+        assert len(probs) == len(series)
+
+    def test_default_target_is_normal(self, explainer, abnormal_image):
+        result = explainer.explain(abnormal_image, 1)
+        assert result.target_label == 0
+
+    def test_explain_all_counters(self, explainer, abnormal_image):
+        results = explainer.explain_all_counters(abnormal_image, 1)
+        assert len(results) == 1    # binary dataset: one counter class
+        assert results[0].target_label == 0
+
+    def test_centroid_endpoint_mode(self, tiny_cae, tiny_manifold,
+                                    tiny_classifier, abnormal_image):
+        explainer = CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier,
+                                 steps=4, endpoint="centroid")
+        check_saliency(explainer.explain(abnormal_image, 1, 0))
+
+    def test_explain_batch(self, explainer, tiny_train_set):
+        images = tiny_train_set.images[:2]
+        labels = tiny_train_set.labels[:2]
+        results = explainer.explain_batch(images, labels)
+        assert len(results) == 2
+
+
+class TestRegistry:
+    def test_table2_method_list(self):
+        assert len(TABLE2_METHODS) == 10
+        assert TABLE2_METHODS[-1] == "cae"
+
+    def test_build_subset(self, tiny_train_set, tiny_classifier,
+                          tiny_config):
+        suite = build_all_explainers(tiny_train_set, tiny_classifier,
+                                     config=tiny_config,
+                                     include=("gradcam", "lime"))
+        assert set(suite.explainers) == {"gradcam", "lime"}
+
+    def test_build_with_trained_models(self, tiny_train_set, tiny_classifier,
+                                       tiny_config):
+        suite = build_all_explainers(
+            tiny_train_set, tiny_classifier, config=tiny_config,
+            cae_iterations=2, aux_epochs=1,
+            include=("cae", "lagan"))
+        assert "cae" in suite.explainers
+        assert suite.cae_model is not None
+        assert suite.training_times["cae"] > 0
+        assert suite["lagan"] is suite.explainers["lagan"]

@@ -1,0 +1,134 @@
+"""Integration tests: full pipelines spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.core import train_cae
+from repro.data import make_dataset
+from repro.eval import (ExperimentContext, ExperimentScale,
+                        class_reassignment_rate, latent_separability,
+                        perturbation_curve, probe_path)
+from repro.explain import CAEExplainer, train_icam
+
+
+class TestEndToEndExplanation:
+    """Train everything on the tiny fixture and explain a test image."""
+
+    def test_cae_explains_test_image(self, tiny_cae, tiny_manifold,
+                                     tiny_classifier, tiny_test_set):
+        explainer = CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier,
+                                 steps=5)
+        idx = tiny_test_set.indices_of_class(1)[0]
+        result = explainer.explain(tiny_test_set.images[idx], 1, 0)
+        assert result.saliency.shape == tiny_test_set.images[idx].shape[1:]
+        assert np.isfinite(result.saliency).all()
+
+    def test_aopc_pipeline(self, tiny_cae, tiny_manifold, tiny_classifier,
+                           tiny_test_set):
+        explainer = CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier,
+                                 steps=4)
+        curve = perturbation_curve(explainer, tiny_classifier,
+                                   tiny_test_set.images[:3],
+                                   tiny_test_set.labels[:3],
+                                   n_patches=4, patch=3)
+        assert np.isfinite(curve.aopc)
+        assert curve.pd >= curve.aopc    # max >= mean always
+
+    def test_manifold_separability_pipeline(self, tiny_cae, tiny_test_set):
+        codes = tiny_cae.encode_class(tiny_test_set.images)
+        mean, std = latent_separability(codes, tiny_test_set.labels,
+                                        n_splits=4, n_estimators=10)
+        assert 0.0 <= mean <= 1.0
+
+    def test_reassignment_pipeline(self, tiny_cae, tiny_classifier,
+                                   tiny_test_set):
+        rate = class_reassignment_rate(tiny_cae, tiny_classifier,
+                                       tiny_test_set, n_pairs=10)
+        assert 0.0 <= rate <= 1.0
+
+    def test_path_probe_pipeline(self, tiny_cae, tiny_manifold,
+                                 tiny_classifier, tiny_test_set):
+        __, is_code = tiny_cae.encode(tiny_test_set.images[0])
+        probe = probe_path(tiny_cae, tiny_classifier,
+                           tiny_manifold.centroid(0),
+                           tiny_manifold.centroid(1),
+                           is_code, target_label=1, steps=5)
+        assert len(probe.probs) == 5
+
+
+class TestMulticlassOCT:
+    """The OCT dataset exercises the 1-vs-1 multi-class path."""
+
+    def test_cae_trains_on_four_classes(self, tiny_oct_set):
+        config = ReproConfig(image_size=16, base_channels=8, seed=0)
+        model = train_cae(tiny_oct_set, iterations=4, batch_size=2,
+                          config=config)
+        manifold = model.build_manifold(tiny_oct_set)
+        assert manifold.classes == (0, 1, 2, 3)
+        assert len(manifold.counter_classes(0)) == 3
+
+    def test_multiclass_paths_exist_to_every_counter(self, tiny_oct_set):
+        config = ReproConfig(image_size=16, base_channels=8, seed=0)
+        model = train_cae(tiny_oct_set, iterations=2, batch_size=2,
+                          config=config)
+        manifold = model.build_manifold(tiny_oct_set)
+        code = manifold.codes[0]
+        for counter in manifold.counter_classes(0):
+            path = manifold.plan_path(code, 0, counter, steps=3)
+            assert path.target_label == counter
+
+
+class TestICAMComparison:
+    """CAE and ICAM share architecture; compare their latent spaces."""
+
+    def test_both_models_encode_same_shapes(self, tiny_train_set,
+                                            tiny_config, tiny_cae):
+        icam = train_icam(tiny_train_set, iterations=3, batch_size=2,
+                          config=tiny_config)
+        cae_codes = tiny_cae.encode_class(tiny_train_set.images[:4])
+        icam_codes = icam.encode_attribute(tiny_train_set.images[:4])
+        assert cae_codes.shape == icam_codes.shape
+
+
+class TestExperimentContext:
+    def test_context_builds_and_caches(self, tmp_path):
+        scale = ExperimentScale(image_size=16, train_divisor=2000,
+                                classifier_epochs=1, classifier_width=8,
+                                cae_iterations=2, aux_epochs=1,
+                                base_channels=8)
+        ctx = ExperimentContext("brain_tumor1", scale,
+                                cache_dir=str(tmp_path))
+        clf = ctx.classifier
+        assert "classifier" in ctx.train_times
+
+        # Second context re-loads from cache without retraining.
+        ctx2 = ExperimentContext("brain_tumor1", scale,
+                                 cache_dir=str(tmp_path))
+        clf2 = ctx2.classifier
+        assert "classifier" not in ctx2.train_times
+        images = ctx.test_set.images[:2]
+        assert np.allclose(clf.predict_proba(images),
+                           clf2.predict_proba(images))
+
+    def test_cae_cache_roundtrip(self, tmp_path):
+        scale = ExperimentScale(image_size=16, train_divisor=2000,
+                                classifier_epochs=1, classifier_width=8,
+                                cae_iterations=2, aux_epochs=1,
+                                base_channels=8)
+        ctx = ExperimentContext("brain_tumor1", scale,
+                                cache_dir=str(tmp_path))
+        cae = ctx.cae
+        ctx2 = ExperimentContext("brain_tumor1", scale,
+                                 cache_dir=str(tmp_path))
+        images = ctx.test_set.images[:2]
+        assert np.allclose(cae.encode_class(images),
+                           ctx2.cae.encode_class(images))
+
+    def test_sample_test_images(self, tmp_path):
+        scale = ExperimentScale(image_size=16, train_divisor=2000)
+        ctx = ExperimentContext("brain_tumor1", scale,
+                                cache_dir=str(tmp_path))
+        images, labels, masks = ctx.sample_test_images(3, abnormal_only=True)
+        assert np.all(labels != 0)
+        assert len(images) <= 3

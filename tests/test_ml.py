@@ -1,0 +1,219 @@
+"""Unit tests for the classical ML substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (PCA, TSNE, DecisionTreeClassifier,
+                      RandomForestClassifier, accuracy_score, binary_auc,
+                      confusion_matrix, cross_val_accuracy, iou_score,
+                      smote_sample, stratified_kfold_indices)
+
+
+def make_blobs(rng, n=60, d=4, separation=4.0):
+    """Two well-separated Gaussian blobs."""
+    a = rng.standard_normal((n // 2, d))
+    b = rng.standard_normal((n // 2, d)) + separation
+    X = np.vstack([a, b])
+    y = np.repeat([0, 1], n // 2)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self, rng):
+        X, y = make_blobs(rng)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    def test_max_depth_limits(self, rng):
+        X, y = make_blobs(rng, separation=0.5)
+        stump = DecisionTreeClassifier(max_depth=1, rng=rng).fit(X, y)
+
+        def depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+        assert depth(stump._root) <= 1
+
+    def test_proba_sums_to_one(self, rng):
+        X, y = make_blobs(rng)
+        tree = DecisionTreeClassifier(max_depth=3, rng=rng).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_pure_node_becomes_leaf(self, rng):
+        X = rng.standard_normal((10, 2))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert tree._root.is_leaf
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_multiclass(self, rng):
+        X = np.vstack([rng.standard_normal((20, 2)) + off
+                       for off in (0, 5, 10)])
+        y = np.repeat([0, 1, 2], 20)
+        tree = DecisionTreeClassifier(rng=rng).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.95
+
+
+class TestRandomForest:
+    def test_fits_separable_data(self, rng):
+        X, y = make_blobs(rng)
+        forest = RandomForestClassifier(n_estimators=10, rng=rng).fit(X, y)
+        assert forest.score(X, y) == 1.0
+
+    def test_generalizes(self, rng):
+        X, y = make_blobs(rng, n=100)
+        Xt, yt = make_blobs(np.random.default_rng(99), n=40)
+        forest = RandomForestClassifier(n_estimators=15, max_depth=4,
+                                        rng=rng).fit(X, y)
+        assert forest.score(Xt, yt) > 0.9
+
+    def test_proba_shape_and_range(self, rng):
+        X, y = make_blobs(rng)
+        forest = RandomForestClassifier(n_estimators=5, rng=rng).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_deterministic_with_seed(self):
+        X, y = make_blobs(np.random.default_rng(3), separation=1.0)
+        p1 = RandomForestClassifier(
+            n_estimators=5, rng=np.random.default_rng(0)).fit(X, y).predict(X)
+        p2 = RandomForestClassifier(
+            n_estimators=5, rng=np.random.default_rng(0)).fit(X, y).predict(X)
+        assert np.all(p1 == p2)
+
+
+class TestPCA:
+    def test_explained_variance_ordered(self, rng):
+        X = rng.standard_normal((50, 5)) * np.array([5, 3, 1, 0.5, 0.1])
+        pca = PCA(3).fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+    def test_transform_shape(self, rng):
+        X = rng.standard_normal((20, 6))
+        assert PCA(2).fit_transform(X).shape == (20, 2)
+
+    def test_reconstruction_with_full_rank(self, rng):
+        X = rng.standard_normal((30, 4))
+        pca = PCA(4).fit(X)
+        recon = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(recon, X, atol=1e-8)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 3)))
+
+    def test_components_orthonormal(self, rng):
+        X = rng.standard_normal((40, 6))
+        pca = PCA(3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+
+class TestTSNE:
+    def test_separates_blobs(self, rng):
+        X, y = make_blobs(rng, n=40, separation=8.0)
+        Y = TSNE(n_iter=250, perplexity=10, seed=0).fit_transform(X)
+        center0 = Y[y == 0].mean(axis=0)
+        center1 = Y[y == 1].mean(axis=0)
+        spread0 = np.linalg.norm(Y[y == 0] - center0, axis=1).mean()
+        gap = np.linalg.norm(center0 - center1)
+        assert gap > spread0  # clusters separated beyond their spread
+
+    def test_output_shape_and_centering(self, rng):
+        X = rng.standard_normal((20, 5))
+        Y = TSNE(n_iter=100, seed=0).fit_transform(X)
+        assert Y.shape == (20, 2)
+        assert np.allclose(Y.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((2, 3)))
+
+
+class TestSMOTE:
+    def test_samples_in_convex_hull_of_pairs(self, rng):
+        X = rng.standard_normal((20, 3))
+        samples = smote_sample(X, 50, rng=rng)
+        assert samples.shape == (50, 3)
+        # Convexity: every sample within the data's bounding box.
+        assert np.all(samples >= X.min(axis=0) - 1e-9)
+        assert np.all(samples <= X.max(axis=0) + 1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            smote_sample(np.zeros((1, 2)), 5)
+
+    def test_deterministic_with_seed(self, rng):
+        X = rng.standard_normal((10, 2))
+        a = smote_sample(X, 5, rng=np.random.default_rng(1))
+        b = smote_sample(X, 5, rng=np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+
+class TestCrossval:
+    def test_folds_partition_data(self, rng):
+        y = np.repeat([0, 1], 25)
+        seen = []
+        for train_idx, test_idx in stratified_kfold_indices(y, 5, rng):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.extend(test_idx)
+        assert sorted(seen) == list(range(50))
+
+    def test_folds_stratified(self, rng):
+        y = np.repeat([0, 1], [40, 10])
+        for __, test_idx in stratified_kfold_indices(y, 5, rng):
+            labels = y[test_idx]
+            assert (labels == 1).sum() == 2   # 10 / 5 folds
+
+    def test_cross_val_accuracy_on_separable(self, rng):
+        X, y = make_blobs(rng, n=60)
+        mean, std, scores = cross_val_accuracy(
+            lambda: DecisionTreeClassifier(max_depth=3,
+                                           rng=np.random.default_rng(0)),
+            X, y, n_splits=5, rng=rng)
+        assert mean > 0.9
+        assert len(scores) == 5
+        assert std >= 0
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm[0, 0] == 1
+        assert cm[0, 1] == 1
+        assert cm[1, 1] == 2
+
+    def test_auc_perfect(self):
+        assert binary_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_auc_random(self):
+        assert binary_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_auc_degenerate(self):
+        assert binary_auc([0, 0], [0.1, 0.2]) == 0.5
+
+    def test_iou(self):
+        a = np.zeros((4, 4))
+        b = np.zeros((4, 4))
+        a[:2] = 1
+        b[1:3] = 1
+        assert iou_score(a, b) == pytest.approx(4 / 12)
+
+    def test_iou_both_empty(self):
+        assert iou_score(np.zeros((3, 3)), np.zeros((3, 3))) == 1.0

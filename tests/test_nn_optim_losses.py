@@ -1,0 +1,185 @@
+"""Unit tests for optimisers, losses, blocks, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    """Convex objective with minimum at 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.zeros(1), requires_grad=True)
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.full(2, 10.0), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(2)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_skips_none_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()   # no grad yet — must not crash
+        assert np.allclose(p.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = nn.Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of gradient scale.
+        assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_grad_clip_limits_update(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = nn.Adam([p], lr=0.1, grad_clip=1.0)
+        p.grad = np.array([1e6, 1e6])
+        opt.step()
+        assert np.all(np.abs(p.data) <= 0.11)
+
+    def test_zero_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        p.grad = np.ones(2)
+        nn.Adam([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestLosses:
+    def test_l1_loss_value(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([2.0, 0.0]))
+        assert nn.l1_loss(a, b).item() == pytest.approx(1.5)
+
+    def test_mse_loss_value(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([2.0, 0.0]))
+        assert nn.mse_loss(a, b).item() == pytest.approx((1 + 4) / 2)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = nn.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        nn.cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 0] > 0    # push down wrong class
+        assert logits.grad[0, 1] < 0    # push up true class
+
+    def test_binary_real_fake_labels(self):
+        logits = Tensor(np.array([[0.0, 100.0]]))  # index 1 = "real"
+        assert nn.binary_real_fake_loss(logits, is_real=True).item() < 1e-6
+        assert nn.binary_real_fake_loss(logits, is_real=False).item() > 10
+
+    def test_accuracy_helper(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestBlocks:
+    def test_residual_block_preserves_shape(self, rng):
+        block = nn.ResidualBlock(8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 8, 8, 8)))
+        assert block(x).shape == x.shape
+
+    def test_down_block_halves(self, rng):
+        block = nn.DownBlock(4, 8, rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_up_block_doubles(self, rng):
+        block = nn.UpBlock(8, 4, rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 8, 4, 4))))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_mlp_shapes(self, rng):
+        mlp = nn.MLP(4, [8, 8], 2, rng=rng)
+        out = mlp(Tensor(rng.standard_normal((5, 4))))
+        assert out.shape == (5, 2)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        net = nn.Sequential(nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+                            nn.BatchNorm2d(4))
+        path = str(tmp_path / "model.npz")
+        nn.save_state(net, path)
+
+        other = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=np.random.default_rng(99)),
+            nn.BatchNorm2d(4))
+        nn.load_state(other, path)
+        for (n1, p1), (n2, p2) in zip(net.named_parameters(),
+                                      other.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_load_appends_npz_extension(self, tmp_path, rng):
+        net = nn.Linear(2, 2, rng=rng)
+        path = str(tmp_path / "weights.npz")
+        nn.save_state(net, path)
+        other = nn.Linear(2, 2, rng=np.random.default_rng(5))
+        nn.load_state(other, str(tmp_path / "weights"))
+        assert np.allclose(net.weight.data, other.weight.data)
+
+    def test_outputs_identical_after_load(self, tmp_path, rng):
+        net = nn.Sequential(nn.Linear(3, 5, rng=rng), nn.Tanh(),
+                            nn.Linear(5, 2, rng=rng))
+        x = Tensor(rng.standard_normal((4, 3)))
+        expected = net(x).data
+        path = str(tmp_path / "m.npz")
+        nn.save_state(net, path)
+        fresh = nn.Sequential(
+            nn.Linear(3, 5, rng=np.random.default_rng(7)), nn.Tanh(),
+            nn.Linear(5, 2, rng=np.random.default_rng(8)))
+        nn.load_state(fresh, path)
+        assert np.allclose(fresh(x).data, expected)

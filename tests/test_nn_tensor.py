@@ -1,0 +1,305 @@
+"""Unit tests for the autodiff Tensor core."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued f wrt array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build, *arrays, tol=1e-6):
+    """Compare autodiff gradient against numeric for each input array."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for t, a in zip(tensors, arrays):
+        def f(a=a, arrays=arrays):
+            fresh = [Tensor(arr) for arr in arrays]
+            return float(build(*fresh).data)
+        num = numeric_grad(f, a)
+        assert t.grad is not None
+        assert np.abs(num - t.grad).max() < tol, \
+            f"gradient mismatch: {np.abs(num - t.grad).max()}"
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_int_array_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        check_grad(lambda x, y: (x + y).sum(), a, b)
+
+    def test_add_broadcast(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4,))
+        check_grad(lambda x, y: (x + y).sum(), a, b)
+
+    def test_sub(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        check_grad(lambda x, y: (x - y * 2.0).sum(), a, b)
+
+    def test_rsub_scalar(self, rng):
+        a = rng.standard_normal(4)
+        check_grad(lambda x: (1.0 - x).sum(), a)
+
+    def test_mul(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        check_grad(lambda x, y: (x * y).sum(), a, b)
+
+    def test_div(self, rng):
+        a = rng.standard_normal(5)
+        b = rng.standard_normal(5) + 3.0
+        check_grad(lambda x, y: (x / y).sum(), a, b, tol=1e-5)
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal(5)) + 0.5
+        check_grad(lambda x: (x ** 3).sum(), a, tol=1e-4)
+
+    def test_neg(self, rng):
+        a = rng.standard_normal(5)
+        check_grad(lambda x: (-x).sum(), a)
+
+    def test_pow_non_scalar_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([1.0, 2.0])
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary(self, op, rng):
+        a = rng.standard_normal(6) + 0.1   # avoid |x| kink at exactly 0
+        check_grad(lambda x: getattr(x, op)().sum(), a, tol=1e-5)
+
+    def test_log(self, rng):
+        a = np.abs(rng.standard_normal(5)) + 0.5
+        check_grad(lambda x: x.log().sum(), a, tol=1e-5)
+
+    def test_sqrt(self, rng):
+        a = np.abs(rng.standard_normal(5)) + 0.5
+        check_grad(lambda x: x.sqrt().sum(), a, tol=1e-5)
+
+    def test_leaky_relu(self, rng):
+        a = rng.standard_normal(8) + 0.05
+        check_grad(lambda x: x.leaky_relu(0.2).sum(), a, tol=1e-5)
+
+    def test_clip_gradient_masks_outside(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_grad(lambda x: (x.sum(axis=0) ** 2).sum(), a, tol=1e-5)
+
+    def test_mean_matches_numpy(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        assert np.allclose(Tensor(a).mean(axis=(1, 2)).data,
+                           a.mean(axis=(1, 2)))
+
+    def test_mean_grad(self, rng):
+        a = rng.standard_normal((4, 3))
+        check_grad(lambda x: (x.mean(axis=1) ** 2).sum(), a, tol=1e-5)
+
+    def test_var_matches_numpy(self, rng):
+        a = rng.standard_normal((6, 5))
+        assert np.allclose(Tensor(a).var(axis=0).data, a.var(axis=0))
+
+    def test_max_grad_flows_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0, 3.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        t.max().backward()
+        assert t.grad.sum() == pytest.approx(1.0)
+
+
+class TestShapeOps:
+    def test_reshape_grad(self, rng):
+        a = rng.standard_normal((2, 6))
+        check_grad(lambda x: (x.reshape(3, 4) ** 2).sum(), a, tol=1e-5)
+
+    def test_transpose_grad(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        check_grad(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), a, tol=1e-5)
+
+    def test_flatten(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.flatten().shape == (2, 12)
+
+    def test_getitem_grad_scatter(self):
+        t = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(t.grad, [2.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+
+    def test_pad2d_roundtrip_grad(self, rng):
+        a = rng.standard_normal((1, 1, 4, 4))
+        check_grad(lambda x: (x.pad2d(2) ** 2).sum(), a, tol=1e-5)
+
+    def test_concat_grad(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 2))
+        check_grad(lambda x, y: (Tensor.concat([x, y], axis=1) ** 2).sum(),
+                   a, b, tol=1e-5)
+
+    def test_stack_shapes(self):
+        a, b = Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 3)))
+        assert Tensor.stack([a, b], axis=0).shape == (2, 2, 3)
+
+
+class TestMatmul:
+    def test_matmul_grad(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 2))
+        check_grad(lambda x, y: (x @ y).sum(), a, b, tol=1e-5)
+
+    def test_batched_matmul_grad(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        check_grad(lambda x, y: ((x @ y) ** 2).sum(), a, b, tol=1e-4)
+
+    def test_broadcast_matmul_grad(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((4, 5))
+        check_grad(lambda x, y: (x @ y).sum(), a, b, tol=1e-5)
+
+
+class TestBackwardMechanics:
+    def test_backward_non_scalar_raises(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_backward_explicit_grad_shape_check(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        out = t * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_grad_accumulates_over_backwards(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 3).sum().backward()
+        (t * 3).sum().backward()
+        assert np.allclose(t.grad, [6.0, 6.0])
+
+    def test_diamond_graph_accumulation(self):
+        # y = x*x + x*x uses x twice via shared intermediate consumers.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * x
+        b = x * 3.0
+        (a + b).sum().backward()
+        assert np.allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x.detach() * 5).sum().backward()
+        assert x.grad is None
+
+    def test_clone_passes_gradient(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        x.clone().sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_retain_grad_keeps_interior_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        mid = x * 2
+        mid.retain_grad()
+        mid.sum().backward()
+        assert mid.grad is not None
+        assert np.allclose(mid.grad, [1.0, 1.0])
+
+    def test_interior_grad_released_by_default(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        mid = x * 2
+        mid.sum().backward()
+        assert mid.grad is None
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_tracking_without_requires(self):
+        x = Tensor(np.ones(2))
+        out = (x * 2).sum()
+        assert out.requires_grad is False
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sum_prepended_axis(self):
+        g = np.ones((5, 2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert _unbroadcast(g, (2, 3))[0, 0] == 5
+
+    def test_sum_size1_axis(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert out[0, 0] == 3
+
+    def test_scalar_target(self):
+        g = np.ones((4, 4))
+        assert _unbroadcast(g, ()) == 16
+
+
+class TestFactories:
+    def test_zeros_ones(self):
+        assert np.all(nn.zeros((2, 2)).data == 0)
+        assert np.all(nn.ones((2, 2)).data == 1)
+
+    def test_randn_seeded(self):
+        a = nn.randn((3,), rng=np.random.default_rng(1))
+        b = nn.randn((3,), rng=np.random.default_rng(1))
+        assert np.allclose(a.data, b.data)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert nn.as_tensor(t) is t

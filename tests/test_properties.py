@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.manifold import ClassAssociatedManifold
+from repro.ml import PCA, smote_sample
+from repro.ml.metrics import accuracy_score, iou_score
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-100, max_value=100,
+                          allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestTensorAlgebraProperties:
+    @given(small_arrays((3, 4)), small_arrays((3, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_commutes(self, a, b):
+        assert np.allclose((Tensor(a) + Tensor(b)).data,
+                           (Tensor(b) + Tensor(a)).data)
+
+    @given(small_arrays((2, 3)), small_arrays((2, 3)), small_arrays((2, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_distributivity(self, a, b, c):
+        lhs = (Tensor(a) * (Tensor(b) + Tensor(c))).data
+        rhs = (Tensor(a) * Tensor(b) + Tensor(a) * Tensor(c)).data
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(small_arrays((4,)))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_matches_numpy(self, a):
+        assert np.allclose(Tensor(a).sum().data, a.sum())
+
+    @given(small_arrays((3, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_relu_idempotent(self, a):
+        once = Tensor(a).relu()
+        twice = once.relu()
+        assert np.allclose(once.data, twice.data)
+
+    @given(small_arrays((2, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_is_distribution(self, a):
+        s = F.softmax(Tensor(a), axis=-1).data
+        assert np.all(s >= 0)
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    @given(small_arrays((3, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    @given(small_arrays((5, 2, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_preserves_total(self, g):
+        out = _unbroadcast(g, (2, 3))
+        assert np.allclose(out, g.sum(axis=0))
+
+
+class TestConvProperties:
+    @given(small_arrays((1, 1, 6, 6)), small_arrays((1, 1, 3, 3)),
+           st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_conv_linearity_in_input(self, x, w, alpha):
+        one = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        scaled = F.conv2d(Tensor(alpha * x), Tensor(w), padding=1).data
+        assert np.allclose(scaled, alpha * one, rtol=1e-9, atol=1e-7)
+
+    @given(small_arrays((1, 1, 4, 4)))
+    @settings(max_examples=15, deadline=None)
+    def test_avg_pool_preserves_mean(self, x):
+        pooled = F.avg_pool2d(Tensor(x), 2).data
+        assert np.allclose(pooled.mean(), x.mean(), atol=1e-9)
+
+    @given(small_arrays((1, 1, 4, 4)))
+    @settings(max_examples=15, deadline=None)
+    def test_max_pool_bounded_by_max(self, x):
+        pooled = F.max_pool2d(Tensor(x), 2).data
+        assert pooled.max() <= x.max() + 1e-12
+        assert pooled.min() >= x.min() - 1e-12
+
+    @given(small_arrays((1, 2, 3, 3)), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_upsample_preserves_mean(self, x, scale):
+        up = F.upsample_nearest2d(Tensor(x), scale).data
+        assert np.allclose(up.mean(), x.mean(), atol=1e-12)
+
+
+class TestManifoldProperties:
+    @given(arrays(np.float64, (12, 4),
+                  elements=st.floats(-10, 10, allow_nan=False)),
+           st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_interpolation_endpoints_exact(self, codes, steps):
+        manifold = ClassAssociatedManifold(codes, np.repeat([0, 1], 6))
+        out = manifold.interpolate(codes[0], codes[-1], steps=steps)
+        assert np.allclose(out[0], codes[0])
+        assert np.allclose(out[-1], codes[-1])
+
+    @given(arrays(np.float64, (12, 4),
+                  elements=st.floats(-10, 10, allow_nan=False)))
+    @settings(max_examples=20, deadline=None)
+    def test_centroid_is_mean(self, codes):
+        manifold = ClassAssociatedManifold(codes, np.repeat([0, 1], 6))
+        assert np.allclose(manifold.centroid(0), codes[:6].mean(axis=0))
+
+    @given(arrays(np.float64, (10, 3),
+                  elements=st.floats(-5, 5, allow_nan=False, width=32)),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_smote_inside_bounding_box(self, points, n):
+        # Degenerate all-identical points are valid SMOTE input too.
+        samples = smote_sample(points, n,
+                               rng=np.random.default_rng(0))
+        assert samples.shape == (n, 3)
+        assert np.all(samples >= points.min(axis=0) - 1e-9)
+        assert np.all(samples <= points.max(axis=0) + 1e-9)
+
+
+class TestPCAProperties:
+    @given(arrays(np.float64, (15, 5),
+                  elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=20, deadline=None)
+    def test_transform_centering(self, X):
+        pca = PCA(2).fit(X)
+        projected = pca.transform(X)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-6)
+
+    @given(arrays(np.float64, (10, 4),
+                  elements=st.floats(-10, 10, allow_nan=False)))
+    @settings(max_examples=20, deadline=None)
+    def test_variance_ratios_in_unit_interval(self, X):
+        pca = PCA(3).fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(ratios >= -1e-12)
+        assert ratios.sum() <= 1.0 + 1e-9
+
+
+class TestMetricProperties:
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_accuracy_self_prediction_is_one(self, labels):
+        y = np.asarray(labels)
+        assert accuracy_score(y, y) == 1.0
+
+    @given(arrays(np.float64, (6, 6), elements=st.floats(0, 1)))
+    @settings(max_examples=25, deadline=None)
+    def test_iou_symmetric(self, mask):
+        other = np.roll(mask, 1, axis=0)
+        assert iou_score(mask, other) == iou_score(other, mask)
+
+    @given(arrays(np.float64, (6, 6), elements=st.floats(0, 1)))
+    @settings(max_examples=25, deadline=None)
+    def test_iou_self_is_one(self, mask):
+        assert iou_score(mask, mask) == 1.0
