@@ -1,0 +1,179 @@
+"""Micro-benchmarks for the repro.nn performance substrate.
+
+Times the hot paths the perf PRs optimise — conv forward/backward, a
+full ``bbcfe_step``, and an occlusion saliency sweep — and writes
+machine-readable results to ``BENCH_substrate.json`` at the repo root so
+successive PRs accumulate a perf trajectory.
+
+The script runs unmodified on older revisions (it feature-detects
+``nn.no_grad``), which is how the seed baseline was recorded::
+
+    PYTHONPATH=src python benchmarks/bench_perf_substrate.py --label current
+    # in a checkout of the seed commit:
+    PYTHONPATH=<seed>/src python benchmarks/bench_perf_substrate.py \
+        --label seed --out <here>/BENCH_substrate.json
+
+When both ``seed`` and ``current`` entries exist the script reports the
+speedup per benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro import nn
+from repro.config import ReproConfig
+from repro.classifiers import SmallResNet
+from repro.core.bbcfe import PairSampler, bbcfe_step
+from repro.core.model import CAEModel
+from repro.data import ImageDataset
+from repro.explain.occlusion import OcclusionExplainer
+from repro.nn import functional as F
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_substrate.json")
+
+NO_GRAD = getattr(nn, "no_grad", None)          # absent in the seed
+# Default engine dtype (float64 on the seed, where nn does not export it).
+DTYPE = getattr(nn, "get_default_dtype", lambda: np.float64)()
+
+
+def _timeit(fn: Callable[[], None], repeats: int, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def bench_conv_forward(repeats: int) -> float:
+    rng = np.random.default_rng(0)
+    x = nn.Tensor(rng.standard_normal((16, 8, 32, 32)).astype(DTYPE))
+    w = nn.Tensor(rng.standard_normal((16, 8, 3, 3)).astype(DTYPE))
+    b = nn.Tensor(rng.standard_normal(16).astype(DTYPE))
+
+    def run() -> None:
+        F.conv2d(x, w, b, stride=1, padding=1)
+    return _timeit(run, repeats)
+
+
+def bench_conv_backward(repeats: int) -> float:
+    rng = np.random.default_rng(0)
+    x = nn.Tensor(rng.standard_normal((16, 8, 32, 32)).astype(DTYPE),
+                  requires_grad=True)
+    w = nn.Tensor(rng.standard_normal((16, 8, 3, 3)).astype(DTYPE),
+                  requires_grad=True)
+    b = nn.Tensor(rng.standard_normal(16).astype(DTYPE), requires_grad=True)
+
+    def run() -> None:
+        x.grad = w.grad = b.grad = None
+        (F.conv2d(x, w, b, stride=1, padding=1) ** 2).sum().backward()
+    return _timeit(run, repeats)
+
+
+def _tiny_dataset(n_per_class: int = 16, size: int = 32) -> ImageDataset:
+    rng = np.random.default_rng(0)
+    images = rng.random((2 * n_per_class, 1, size, size))
+    labels = np.repeat(np.arange(2), n_per_class)
+    return ImageDataset(images, labels)
+
+
+def bench_bbcfe_step(repeats: int) -> float:
+    dataset = _tiny_dataset()
+    config = ReproConfig(image_size=32, base_channels=8, seed=0)
+    model = CAEModel(num_classes=2, config=config)
+    gen_params = model.encoder.parameters() + model.decoder.parameters()
+    gen_opt = nn.Adam(gen_params, lr=config.lr)
+    disc_opt = nn.Adam(model.discriminator.parameters(), lr=config.lr)
+    sampler = PairSampler(dataset, rng=np.random.default_rng(0))
+
+    def run() -> None:
+        bbcfe_step(model.encoder, model.decoder, model.discriminator,
+                   gen_opt, disc_opt, sampler, batch_size=8,
+                   weights=config.loss_weights)
+    return _timeit(run, repeats)
+
+
+def bench_occlusion_sweep(repeats: int) -> float:
+    dataset = _tiny_dataset(n_per_class=4)
+    classifier = SmallResNet(num_classes=2, width=8, seed=0)
+    explainer = OcclusionExplainer(classifier, window=5, stride=2)
+    images = dataset.images[:4]
+    labels = dataset.labels[:4]
+
+    def run() -> None:
+        if hasattr(explainer, "explain_batch"):
+            explainer.explain_batch(images, labels)
+        else:
+            for image, label in zip(images, labels):
+                explainer.explain(image, int(label))
+    return _timeit(run, repeats)
+
+
+BENCHES: Dict[str, Callable[[int], float]] = {
+    "conv_forward": bench_conv_forward,
+    "conv_backward": bench_conv_backward,
+    "bbcfe_step": bench_bbcfe_step,
+    "occlusion_sweep": bench_occlusion_sweep,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="entry name in the JSON (seed | current | ...)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--only", nargs="*", choices=sorted(BENCHES),
+                        help="run a subset of benchmarks")
+    args = parser.parse_args()
+
+    results = {}
+    for name, fn in BENCHES.items():
+        if args.only and name not in args.only:
+            continue
+        seconds = fn(args.repeats)
+        results[name] = {"seconds": seconds}
+        print(f"{name:>16}: {seconds * 1000:8.1f} ms")
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    entry = doc.setdefault(args.label, {})
+    entry.update({
+        "results": {**entry.get("results", {}), **results},
+        "default_dtype": str(np.dtype(DTYPE)),
+        "inference_mode": NO_GRAD is not None,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    })
+
+    if "seed" in doc and "current" in doc:
+        speedups = {}
+        for name, cur in doc["current"]["results"].items():
+            base = doc["seed"]["results"].get(name)
+            if base:
+                speedups[name] = round(base["seconds"] / cur["seconds"], 2)
+        doc["speedup_vs_seed"] = speedups
+        print("speedup vs seed:", speedups)
+
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

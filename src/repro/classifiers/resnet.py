@@ -97,10 +97,11 @@ class SmallResNet(nn.Module):
         """Black-box inference API: images (N, C, H, W) -> probabilities."""
         self.eval()
         outputs = []
-        for start in range(0, len(images), batch_size):
-            batch = nn.Tensor(images[start:start + batch_size])
-            logits = self.forward(batch)
-            outputs.append(F.softmax(logits, axis=-1).data)
+        with nn.no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = nn.Tensor(images[start:start + batch_size])
+                logits = self.forward(batch)
+                outputs.append(F.softmax(logits, axis=-1).data)
         self.train()
         return np.concatenate(outputs, axis=0)
 

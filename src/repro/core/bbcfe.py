@@ -63,17 +63,28 @@ class PairSampler:
         if len(self._by_class) < 2:
             raise ValueError("BBCFE needs at least two classes")
         self.classes = sorted(self._by_class)
+        # Padded (num_classes, max_count) member-index matrix + counts so
+        # that sample() is a handful of vectorized draws, not a per-item
+        # python loop.
+        counts = np.array([len(self._by_class[c]) for c in self.classes])
+        members = np.zeros((len(self.classes), int(counts.max())), dtype=int)
+        for row, c in enumerate(self.classes):
+            members[row, :counts[row]] = self._by_class[c]
+        self._member_counts = counts
+        self._member_matrix = members
 
     def sample(self, batch_size: int
                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Return (x_A, y_A, x_B, y_B) with y_A[i] != y_B[i] for all i."""
-        idx_a = np.empty(batch_size, dtype=int)
-        idx_b = np.empty(batch_size, dtype=int)
-        for i in range(batch_size):
-            class_a, class_b = self.rng.choice(self.classes, size=2,
-                                               replace=False)
-            idx_a[i] = self.rng.choice(self._by_class[int(class_a)])
-            idx_b[i] = self.rng.choice(self._by_class[int(class_b)])
+        k = len(self.classes)
+        # Uniform ordered distinct class pairs: row_b = row_a + offset mod k.
+        row_a = self.rng.integers(k, size=batch_size)
+        row_b = (row_a + self.rng.integers(1, k, size=batch_size)) % k
+        # Uniform member of each drawn class via the padded index matrix.
+        idx_a = self._member_matrix[row_a,
+                                    self.rng.integers(self._member_counts[row_a])]
+        idx_b = self._member_matrix[row_b,
+                                    self.rng.integers(self._member_counts[row_b])]
         return (self.dataset.images[idx_a], self.dataset.labels[idx_a],
                 self.dataset.images[idx_b], self.dataset.labels[idx_b])
 

@@ -54,14 +54,16 @@ class CAEModel:
     def encode(self, images: np.ndarray,
                batch_size: int = 64) -> Tuple[np.ndarray, np.ndarray]:
         """Encode images into (CS codes, IS codes) numpy arrays."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=nn.get_default_dtype())
         if images.ndim == 3:
             images = images[None]
         cs_out, is_out = [], []
-        for start in range(0, len(images), batch_size):
-            cs, is_code = self.encoder(nn.Tensor(images[start:start + batch_size]))
-            cs_out.append(cs.data)
-            is_out.append(is_code.data)
+        with nn.no_grad():
+            for start in range(0, len(images), batch_size):
+                cs, is_code = self.encoder(
+                    nn.Tensor(images[start:start + batch_size]))
+                cs_out.append(cs.data)
+                is_out.append(is_code.data)
         return np.concatenate(cs_out), np.concatenate(is_out)
 
     def encode_class(self, images: np.ndarray) -> np.ndarray:
@@ -79,8 +81,8 @@ class CAEModel:
         Broadcasting: a single IS code may be paired with many CS codes
         and vice versa.
         """
-        cs_codes = np.asarray(cs_codes, dtype=np.float64)
-        is_codes = np.asarray(is_codes, dtype=np.float64)
+        cs_codes = np.asarray(cs_codes, dtype=nn.get_default_dtype())
+        is_codes = np.asarray(is_codes, dtype=nn.get_default_dtype())
         if cs_codes.ndim == 1:
             cs_codes = cs_codes[None]
         if is_codes.ndim == 3:
@@ -90,10 +92,12 @@ class CAEModel:
         if len(is_codes) == 1 and len(cs_codes) > 1:
             is_codes = np.repeat(is_codes, len(cs_codes), axis=0)
         outputs = []
-        for start in range(0, len(cs_codes), batch_size):
-            img = self.decoder(nn.Tensor(cs_codes[start:start + batch_size]),
-                               nn.Tensor(is_codes[start:start + batch_size]))
-            outputs.append(img.data)
+        with nn.no_grad():
+            for start in range(0, len(cs_codes), batch_size):
+                img = self.decoder(
+                    nn.Tensor(cs_codes[start:start + batch_size]),
+                    nn.Tensor(is_codes[start:start + batch_size]))
+                outputs.append(img.data)
         return np.concatenate(outputs)
 
     def reconstruct(self, images: np.ndarray) -> np.ndarray:
@@ -122,8 +126,10 @@ class CAEModel:
     def discriminator_class_proba(self, images: np.ndarray) -> np.ndarray:
         """Class probabilities from the Dc head (used in training checks)."""
         from ..nn import functional as F
-        _, dc = self.discriminator(nn.Tensor(np.asarray(images)))
-        return F.softmax(dc, axis=-1).data
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        with nn.no_grad():
+            _, dc = self.discriminator(nn.Tensor(images))
+            return F.softmax(dc, axis=-1).data
 
     # ------------------------------------------------------------------
     def save(self, directory: str) -> None:

@@ -94,7 +94,8 @@ class Decoder(nn.Module):
     def forward(self, cs_code: nn.Tensor, is_code: nn.Tensor) -> nn.Tensor:
         n, _, h, w = is_code.shape
         plane = cs_code.reshape(n, self.cs_dim, 1, 1)
-        ones = nn.Tensor(np.ones((n, self.cs_dim, h, w)))
+        ones = nn.Tensor(np.ones((n, self.cs_dim, h, w),
+                                 dtype=is_code.dtype))
         plane = plane * ones                           # broadcast to spatial
         fused = nn.Tensor.concat([is_code, plane], axis=1)
         fused = self.fuse_norm(self.fuse(fused)).relu()

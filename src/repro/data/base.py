@@ -7,6 +7,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.tensor import get_default_dtype
+
 
 @dataclass
 class Sample:
@@ -30,7 +32,7 @@ class ImageDataset:
                  masks: Optional[np.ndarray] = None,
                  class_names: Optional[Sequence[str]] = None,
                  name: str = "dataset"):
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         if images.ndim != 4:
             raise ValueError("images must be (N, C, H, W)")
         labels = np.asarray(labels, dtype=np.int64)

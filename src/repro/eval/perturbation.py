@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import nn
 from ..classifiers import SmallResNet
 from ..explain.base import Explainer
 
@@ -75,7 +76,7 @@ def perturbation_curve(explainer: Explainer, classifier: SmallResNet,
     for the paper-verbatim protocol.
     """
     rng = rng or np.random.default_rng(0)
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=nn.get_default_dtype())
     labels = np.asarray(labels, dtype=np.int64)
     half = patch // 2
     n_images = len(images)

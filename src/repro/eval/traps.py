@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import nn
 from ..classifiers import SmallResNet
 
 
@@ -120,7 +121,7 @@ def mask_region_drop(classifier: SmallResNet, image: np.ndarray, label: int,
                      ) -> Tuple[float, bool]:
     """Probability drop and flip status after random-filling ``region``."""
     rng = rng or np.random.default_rng(0)
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image, dtype=nn.get_default_dtype())
     masked = image.copy()
     sel = region > 0.5
     masked[:, sel] = rng.random((image.shape[0], int(sel.sum())))

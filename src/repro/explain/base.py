@@ -50,7 +50,13 @@ class Explainer:
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None) -> list:
-        """Default batch path: loop over :meth:`explain`."""
+        """Explain a batch of images, returning one result per image.
+
+        Default path: loop over :meth:`explain`.  Perturbation methods
+        (occlusion, LIME) override this to score all masked variants of
+        all images through the classifier in shared conv batches, which
+        is substantially faster than per-image sweeps.
+        """
         results = []
         for i, (image, label) in enumerate(zip(images, labels)):
             target = None if target_labels is None else int(target_labels[i])

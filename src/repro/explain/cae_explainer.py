@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import nn
 from ..classifiers import SmallResNet
 from ..core import CAEModel, ClassAssociatedManifold
 from .base import Explainer, SaliencyResult, default_counter_label
@@ -69,7 +70,7 @@ class CAEExplainer(Explainer):
         and ``probs`` is the classifier's probability of ``label`` at
         each step.
         """
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         cs, is_code = self.model.encode(image[None])
         path = self.manifold.plan_path(cs[0], label, target_label,
                                        steps=self.steps,

@@ -68,7 +68,7 @@ class FullGradExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         saliency = self._saliency_once(image, label)
         return SaliencyResult(saliency, label, target_label)
 
@@ -96,10 +96,10 @@ class SmoothFullGradExplainer(FullGradExplainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         total = np.zeros(image.shape[1:])
         for _ in range(self.n_samples):
-            noisy = image + self.noise_scale * self.rng.standard_normal(
-                image.shape)
+            noise = self.rng.standard_normal(image.shape).astype(image.dtype)
+            noisy = image + self.noise_scale * noise
             total += self._saliency_once(np.clip(noisy, 0, 1), label)
         return SaliencyResult(total / self.n_samples, label, target_label)

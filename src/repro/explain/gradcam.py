@@ -22,7 +22,7 @@ class GradCAMExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         self.classifier.eval()
         x = nn.Tensor(image[None], requires_grad=True)
         logits, feats = self.classifier.forward_with_features(x)

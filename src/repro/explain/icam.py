@@ -140,7 +140,7 @@ class ICAMExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         if target_label is None:
             target_label = default_counter_label(label, self.num_classes)
         __, is_code = self.model.encode(image[None])

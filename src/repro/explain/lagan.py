@@ -84,7 +84,8 @@ class LAGANExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         self.mask_generator.eval()
-        mask = self.mask_generator(nn.Tensor(image[None])).data[0, 0]
+        with nn.no_grad():
+            mask = self.mask_generator(nn.Tensor(image[None])).data[0, 0]
         return SaliencyResult(mask, label, target_label)

@@ -4,6 +4,8 @@ Superpixels are a regular grid (appropriate at 32x32 where classic
 quickshift superpixels would be single pixels anyway).  Perturbed samples
 mask random superpixel subsets with the image mean; a ridge regression
 weighted by proximity to the original yields per-superpixel importance.
+The perturbed variants of every image in a batch are scored through the
+classifier together, one shared conv batch per chunk.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import nn
 from ..classifiers import SmallResNet
 from .base import Explainer, SaliencyResult
 
@@ -23,13 +26,15 @@ class LimeExplainer(Explainer):
 
     def __init__(self, classifier: SmallResNet, grid: int = 8,
                  n_samples: int = 200, ridge: float = 1.0,
-                 kernel_width: float = 0.25, seed: int = 0):
+                 kernel_width: float = 0.25, seed: int = 0,
+                 max_batch: int = 4096):
         self.classifier = classifier
         self.grid = grid
         self.n_samples = n_samples
         self.ridge = ridge
         self.kernel_width = kernel_width
         self.rng = np.random.default_rng(seed)
+        self.max_batch = max_batch
 
     def _segments(self, h: int, w: int) -> np.ndarray:
         """Segment map (H, W) of grid superpixel ids."""
@@ -39,35 +44,56 @@ class LimeExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
-        c, h, w = image.shape
+        target = None if target_label is None else np.array([target_label])
+        return self.explain_batch(np.asarray(image)[None],
+                                  np.array([label]), target)[0]
+
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        """Fit one local surrogate per image, scoring all perturbed
+        variants of a chunk of images in a single classifier sweep."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        n, c, h, w = images.shape
         segments = self._segments(h, w)
         n_segments = self.grid * self.grid
-        fill = image.mean()
+        s = self.n_samples
 
-        # Binary presence matrix; first row is the unperturbed image.
-        z = self.rng.random((self.n_samples, n_segments)) > 0.5
-        z[0] = True
-        batch = np.empty((self.n_samples, c, h, w))
-        for i in range(self.n_samples):
-            masked = image.copy()
-            off = ~z[i][segments]
-            masked[:, off] = fill
-            batch[i] = masked
+        # Binary presence matrices; first row per image is unperturbed.
+        z = self.rng.random((n, s, n_segments)) > 0.5
+        z[:, 0] = True
 
-        probs = self.classifier.predict_proba(batch)[:, label]
+        chunk = max(1, self.max_batch // s)
+        probs = np.empty((n, s))
+        for start in range(0, n, chunk):
+            imgs = images[start:start + chunk]
+            m = len(imgs)
+            off = ~z[start:start + m][..., segments]        # (m, S, H, W)
+            fills = imgs.mean(axis=(1, 2, 3))
+            batch = np.where(off[:, :, None],
+                             fills[:, None, None, None, None],
+                             imgs[:, None])                 # (m, S, C, H, W)
+            out = self.classifier.predict_proba(
+                batch.reshape(m * s, c, h, w)).reshape(m, s, -1)
+            probs[start:start + m] = out[np.arange(m)[:, None],
+                                         np.arange(s)[None, :],
+                                         labels[start:start + m, None]]
 
-        # Proximity kernel on cosine-like distance in mask space.
-        distance = 1.0 - z.mean(axis=1)
-        kernel = np.exp(-(distance ** 2) / self.kernel_width ** 2)
+        results = []
+        eye = self.ridge * np.eye(n_segments)
+        for i in range(n):
+            # Proximity kernel on cosine-like distance in mask space.
+            distance = 1.0 - z[i].mean(axis=1)
+            kernel = np.exp(-(distance ** 2) / self.kernel_width ** 2)
 
-        # Weighted ridge regression: solve (X^T W X + rI) w = X^T W y.
-        x = z.astype(np.float64)
-        xw = x * kernel[:, None]
-        gram = x.T @ xw + self.ridge * np.eye(n_segments)
-        coef = np.linalg.solve(gram, xw.T @ probs)
+            # Weighted ridge regression: solve (X^T W X + rI) w = X^T W y.
+            x = z[i].astype(np.float64)
+            xw = x * kernel[:, None]
+            gram = x.T @ xw + eye
+            coef = np.linalg.solve(gram, xw.T @ probs[i])
 
-        saliency = coef[segments]
-        saliency = np.maximum(saliency, 0.0)
-        return SaliencyResult(saliency, label, target_label,
-                              meta={"coef": coef})
+            saliency = np.maximum(coef[segments], 0.0)
+            target = None if target_labels is None else int(target_labels[i])
+            results.append(SaliencyResult(saliency, int(labels[i]), target,
+                                          meta={"coef": coef}))
+        return results

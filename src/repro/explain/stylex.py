@@ -100,15 +100,16 @@ class StylexExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         if target_label is None:
             target_label = default_counter_label(
                 label, self.classifier.num_classes)
         self.autoencoder.eval()
         self.classifier.eval()
 
-        z0 = self.autoencoder.encode(nn.Tensor(image[None])).data.copy()
-        base = self.autoencoder.decode(nn.Tensor(z0)).data[0]
+        with nn.no_grad():
+            z0 = self.autoencoder.encode(nn.Tensor(image[None])).data.copy()
+            base = self.autoencoder.decode(nn.Tensor(z0)).data[0]
         z = z0.copy()
         targets = np.array([target_label])
         for _ in range(self.steps):
@@ -124,7 +125,8 @@ class StylexExplainer(Explainer):
             if logits.data.argmax(axis=1)[0] == target_label:
                 break
 
-        counterfactual = self.autoencoder.decode(nn.Tensor(z)).data[0]
+        with nn.no_grad():
+            counterfactual = self.autoencoder.decode(nn.Tensor(z)).data[0]
         saliency = np.abs(counterfactual - base).sum(axis=0)
         return SaliencyResult(saliency, label, target_label,
                               meta={"z_shift": float(np.abs(z - z0).sum())})

@@ -57,7 +57,7 @@ class PatchAttentionClassifier(nn.Module):
         patches = self.embed(x)                       # (N, D, t, t)
         t = patches.shape[2]
         tokens = patches.reshape(n, self.dim, t * t).transpose(0, 2, 1)
-        ones = nn.Tensor(np.ones((n, 1, 1)))
+        ones = nn.ones((n, 1, 1))
         cls_tok = self.cls_token * ones               # broadcast to batch
         seq = nn.Tensor.concat([cls_tok, tokens], axis=1)
         seq = seq + self.pos
@@ -116,10 +116,11 @@ class TSCAMExplainer(Explainer):
 
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image, dtype=nn.get_default_dtype())
         self.model.eval()
-        __, attention, token_scores = self.model.forward_full(
-            nn.Tensor(image[None]))
+        with nn.no_grad():
+            __, attention, token_scores = self.model.forward_full(
+                nn.Tensor(image[None]))
         t = self.model.tokens_per_side
         attn_map = attention.data[0].reshape(t, t)
         semantic = F.softmax(token_scores, axis=-1).data[0, :, label]

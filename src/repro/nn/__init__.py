@@ -4,6 +4,26 @@ The target paper trains its networks in PyTorch; this environment has no
 deep-learning framework, so the reproduction ships its own: a tape-based
 autodiff :class:`~repro.nn.tensor.Tensor`, convolutional layers, GAN-ready
 normalisation, Adam, and checkpointing.
+
+Performance contract
+--------------------
+* **Inference mode.**  Gradient-free code wraps its forward passes in
+  ``with nn.no_grad():`` (or decorates the function with ``@nn.no_grad()``).
+  Inside that scope :meth:`Tensor._make` skips parent tracking and
+  backward-closure retention entirely: forward values are bit-identical
+  to tracked execution, no tape memory is held, and calling
+  ``backward()`` on a no-grad result raises a ``RuntimeError``.
+  ``set_grad_enabled``/``is_grad_enabled`` expose the raw switch;
+  ``enable_grad`` re-enables recording inside an outer ``no_grad``.
+  ``Module.eval()`` only toggles layer behaviour (dropout, batch-norm
+  statistics); it does not disable the tape — combine it with
+  ``no_grad`` for gradient-free evaluation.
+* **Dtype regime.**  The engine runs float32 by default: scalars/lists,
+  parameters, initialisers, and datasets all materialise in
+  ``get_default_dtype()``.  Tensors built from existing float ndarrays
+  keep their dtype, so gradient-check tests pass float64 arrays (or call
+  ``set_default_dtype(np.float64)`` around model construction) to get
+  full-precision tapes.  Ops never silently upcast float32 activations.
 """
 
 from . import functional
@@ -16,10 +36,14 @@ from .losses import (accuracy, binary_real_fake_loss, cross_entropy, l1_loss,
                      mse_loss)
 from .optim import SGD, Adam, Optimizer
 from .serialization import load_state, save_state
-from .tensor import Tensor, as_tensor, ones, randn, zeros
+from .tensor import (Tensor, as_tensor, enable_grad, get_default_dtype,
+                     is_grad_enabled, no_grad, ones, randn,
+                     set_default_dtype, set_grad_enabled, zeros)
 
 __all__ = [
     "Tensor", "as_tensor", "zeros", "ones", "randn",
+    "no_grad", "enable_grad", "set_grad_enabled", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype",
     "Module", "Parameter", "Sequential", "Linear", "Conv2d",
     "ConvTranspose2d", "InstanceNorm2d", "BatchNorm2d", "LayerNorm",
     "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Flatten", "Dropout",

@@ -1,12 +1,16 @@
 """Weight initialisers.
 
 All initialisers take an explicit ``numpy.random.Generator`` so that model
-construction is fully deterministic under a fixed seed.
+construction is fully deterministic under a fixed seed, and return arrays
+in the engine's current default dtype (see
+:func:`repro.nn.tensor.set_default_dtype`).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .tensor import get_default_dtype
 
 
 def kaiming_normal(shape, rng: np.random.Generator, fan_in: int | None = None,
@@ -15,7 +19,8 @@ def kaiming_normal(shape, rng: np.random.Generator, fan_in: int | None = None,
     if fan_in is None:
         fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
     std = gain / np.sqrt(max(fan_in, 1))
-    return rng.standard_normal(shape) * std
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype(),
+                                                     copy=False)
 
 
 def xavier_uniform(shape, rng: np.random.Generator,
@@ -27,12 +32,13 @@ def xavier_uniform(shape, rng: np.random.Generator,
     if fan_out is None:
         fan_out = shape[0]
     limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype(),
+                                                         copy=False)
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())

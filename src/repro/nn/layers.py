@@ -15,13 +15,23 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from . import tensor as tensor_mod
 from .tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A trainable tensor; discovered automatically by :class:`Module`."""
+    """A trainable tensor; discovered automatically by :class:`Module`.
+
+    Parameters are always stored in the engine's default dtype so the
+    whole forward pass stays in one precision regime (no silent float64
+    upcasts from stray initialiser arrays).
+    """
 
     def __init__(self, data):
+        if isinstance(data, Tensor):
+            data = data.data
+        data = np.asarray(data).astype(tensor_mod.get_default_dtype(),
+                                       copy=False)
         super().__init__(data, requires_grad=True)
 
 
@@ -252,8 +262,8 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones(num_features))
         self.bias = Parameter(init.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         c = x.shape[1]

@@ -15,9 +15,18 @@ Design notes
 * Heavy structured ops (convolution, pooling) live in
   :mod:`repro.nn.functional` and register custom backward closures through
   the same mechanism used here.
+* Inference mode: inside :class:`no_grad` (or after
+  ``set_grad_enabled(False)``) :meth:`Tensor._make` skips parent tracking
+  and backward-closure retention entirely, so gradient-free sweeps pay
+  neither tape memory nor graph bookkeeping.
+* Dtype regime: new tensors built from scalars/lists and fresh parameters
+  default to float32 (``set_default_dtype`` switches to float64 for
+  gradient checking); existing float arrays are never silently recast.
 """
 
 from __future__ import annotations
+
+import functools
 
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
@@ -25,7 +34,9 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
-_DEFAULT_DTYPE = np.float64
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+_GRAD_ENABLED = True
 
 
 def set_default_dtype(dtype) -> None:
@@ -37,6 +48,72 @@ def set_default_dtype(dtype) -> None:
 def get_default_dtype():
     """Return the current default floating dtype for new tensors."""
     return _DEFAULT_DTYPE
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are being recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+class set_grad_enabled:
+    """Enable/disable tape recording; usable as a call or context manager.
+
+    ``set_grad_enabled(False)`` flips the global switch immediately; used
+    as a context manager it restores the previous state on exit.
+    """
+
+    def __init__(self, mode: bool):
+        global _GRAD_ENABLED
+        self.prev = _GRAD_ENABLED
+        _GRAD_ENABLED = bool(mode)
+
+    def __enter__(self) -> "set_grad_enabled":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self.prev
+        return False
+
+
+class _GradSwitch:
+    """Context manager / decorator forcing tape recording on or off."""
+
+    _mode: bool = True
+
+    def __enter__(self) -> "_GradSwitch":
+        global _GRAD_ENABLED
+        self.prev = _GRAD_ENABLED
+        _GRAD_ENABLED = self._mode
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self.prev
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self.__class__():
+                return fn(*args, **kwargs)
+        return wrapper
+
+
+class no_grad(_GradSwitch):
+    """Inference mode: ops inside produce untracked tensors.
+
+    Forward results are bit-identical to tracked execution; only the tape
+    (parent links, backward closures, gradient buffers) is skipped.
+    """
+
+    _mode = False
+
+
+class enable_grad(_GradSwitch):
+    """Re-enable tape recording inside an outer :class:`no_grad` scope."""
+
+    _mode = True
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -75,9 +152,13 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: Optional[str] = None):
         if isinstance(data, Tensor):
             data = data.data
+        if isinstance(data, np.generic):
+            # numpy scalars (e.g. from axis=None reductions) keep their
+            # precision so float64 gradient-check tapes stay float64.
+            data = np.asarray(data)
         if not isinstance(data, np.ndarray):
             data = np.asarray(data, dtype=_DEFAULT_DTYPE)
-        elif not np.issubdtype(data.dtype, np.floating):
+        if not np.issubdtype(data.dtype, np.floating):
             data = data.astype(_DEFAULT_DTYPE)
         self.data: np.ndarray = data
         self.grad: Optional[np.ndarray] = None
@@ -132,7 +213,15 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a result tensor wired into the autodiff tape."""
+        """Create a result tensor wired into the autodiff tape.
+
+        Under :class:`no_grad` the result is a plain untracked tensor:
+        no parent links, no backward closure, so the whole upstream graph
+        (including any arrays the closure captured) is released as soon
+        as the caller drops its references.
+        """
+        if not _GRAD_ENABLED:
+            return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -163,6 +252,11 @@ class Tensor:
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError(
+                "backward() called on a tensor that is not part of the "
+                "autodiff tape; the forward pass ran under no_grad() or "
+                "no input had requires_grad=True")
         if grad is None:
             if self.data.size != 1:
                 raise ValueError("backward() without an explicit gradient "
@@ -322,7 +416,8 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype,
+                                                           copy=False)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * scale)
@@ -492,4 +587,6 @@ def ones(shape, requires_grad: bool = False) -> Tensor:
 def randn(shape, rng: Optional[np.random.Generator] = None,
           scale: float = 1.0, requires_grad: bool = False) -> Tensor:
     rng = rng or np.random.default_rng()
-    return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+    data = (rng.standard_normal(shape) * scale).astype(_DEFAULT_DTYPE,
+                                                       copy=False)
+    return Tensor(data, requires_grad=requires_grad)

@@ -19,6 +19,28 @@ from repro.data import make_dataset
 TINY_SIZE = 16
 
 
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued f wrt array x.
+
+    Shared by the tensor/functional gradient-check tests (import it with
+    ``from conftest import numeric_grad``); run those checks on float64
+    arrays — float32 lacks the precision for 1e-6 differencing.
+    """
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
 @pytest.fixture(scope="session")
 def tiny_config() -> ReproConfig:
     return ReproConfig(image_size=TINY_SIZE, base_channels=8, seed=0)

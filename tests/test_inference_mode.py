@@ -1,0 +1,169 @@
+"""Tests for the inference mode (no_grad) and the dtype regime."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def _small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+        nn.InstanceNorm2d(4),
+        nn.ReLU(),
+        nn.Conv2d(4, 4, 3, stride=2, padding=1, rng=rng),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 3, rng=rng),
+    )
+
+
+class TestNoGrad:
+    def test_forward_bit_identical(self, rng):
+        net = _small_net()
+        x = np.asarray(rng.standard_normal((2, 1, 8, 8)),
+                       dtype=nn.get_default_dtype())
+        tracked = net(Tensor(x)).data
+        with nn.no_grad():
+            untracked = net(Tensor(x)).data
+        assert np.array_equal(tracked, untracked)
+
+    def test_no_parents_retained(self, rng):
+        net = _small_net()
+        x = Tensor(np.asarray(rng.standard_normal((2, 1, 8, 8)),
+                              dtype=nn.get_default_dtype()))
+        with nn.no_grad():
+            out = net(x)
+        assert out._parents == ()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_backward_after_no_grad_raises(self, rng):
+        net = _small_net()
+        x = Tensor(np.asarray(rng.standard_normal((2, 1, 8, 8)),
+                              dtype=nn.get_default_dtype()))
+        with nn.no_grad():
+            out = net(x).sum()
+        with pytest.raises(RuntimeError, match="no_grad"):
+            out.backward()
+
+    def test_scope_restored_on_exception(self):
+        assert nn.is_grad_enabled()
+        with pytest.raises(ValueError):
+            with nn.no_grad():
+                assert not nn.is_grad_enabled()
+                raise ValueError("boom")
+        assert nn.is_grad_enabled()
+
+    def test_nested_enable_grad(self):
+        with nn.no_grad():
+            with nn.enable_grad():
+                assert nn.is_grad_enabled()
+                x = Tensor(np.ones(2), requires_grad=True)
+                (x * 2).sum().backward()
+                assert np.allclose(x.grad, [2.0, 2.0])
+            assert not nn.is_grad_enabled()
+
+    def test_decorator_form(self):
+        @nn.no_grad()
+        def run():
+            return nn.is_grad_enabled()
+        assert run() is False
+        assert nn.is_grad_enabled()
+
+    def test_set_grad_enabled_context(self):
+        with nn.set_grad_enabled(False):
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_predict_proba_leaves_no_tape(self, rng):
+        from repro.classifiers import SmallResNet
+        clf = SmallResNet(num_classes=2, width=4, seed=0)
+        images = np.asarray(rng.random((3, 1, 16, 16)),
+                            dtype=nn.get_default_dtype())
+        probs = clf.predict_proba(images)
+        assert probs.shape == (3, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+        # A training step afterwards must still produce gradients.
+        logits = clf(Tensor(images))
+        nn.cross_entropy(logits, np.zeros(3, dtype=np.int64)).backward()
+        assert clf.stem.weight.grad is not None
+
+
+class TestDtypeRegime:
+    def test_default_is_float32(self):
+        assert nn.get_default_dtype() == np.float32
+        assert Tensor([1.0]).dtype == np.float32
+        assert nn.Linear(2, 2).weight.dtype == np.float32
+
+    def test_float64_roundtrip(self):
+        nn.set_default_dtype(np.float64)
+        try:
+            assert nn.Linear(2, 2).weight.dtype == np.float64
+            assert Tensor([1.0]).dtype == np.float64
+        finally:
+            nn.set_default_dtype(np.float32)
+        assert nn.Linear(2, 2).weight.dtype == np.float32
+
+    def test_forward_stays_float32(self, rng):
+        net = _small_net()
+        x = Tensor(rng.standard_normal((2, 1, 8, 8)).astype(np.float32))
+        out = net(x)
+        assert out.dtype == np.float32
+        assert F.softmax(out).dtype == np.float32
+
+    def test_float32_float64_parity(self, rng):
+        """Same weights, same input: float32 forward agrees to ~1e-4."""
+        x64 = rng.standard_normal((2, 1, 8, 8))
+        nn.set_default_dtype(np.float64)
+        try:
+            net64 = _small_net(seed=7)
+            out64 = net64(Tensor(x64)).data
+            state = net64.state_dict()
+        finally:
+            nn.set_default_dtype(np.float32)
+        net32 = _small_net(seed=7)
+        net32.load_state_dict({k: v.astype(np.float32)
+                               for k, v in state.items()})
+        out32 = net32(Tensor(x64.astype(np.float32))).data
+        assert out32.dtype == np.float32
+        assert np.abs(out32 - out64).max() < 1e-4
+
+    def test_dataset_materialises_default_dtype(self):
+        from repro.data import ImageDataset
+        ds = ImageDataset(np.zeros((4, 1, 2, 2)), np.array([0, 0, 1, 1]))
+        assert ds.images.dtype == nn.get_default_dtype()
+
+
+class TestBatchedExplainers:
+    def test_occlusion_batch_matches_single(self, rng):
+        from repro.classifiers import SmallResNet
+        from repro.explain import OcclusionExplainer
+        clf = SmallResNet(num_classes=2, width=4, seed=0)
+        images = np.asarray(rng.random((3, 1, 16, 16)),
+                            dtype=nn.get_default_dtype())
+        labels = np.array([0, 1, 0])
+        explainer = OcclusionExplainer(clf, window=5, stride=4)
+        batch = explainer.explain_batch(images, labels)
+        singles = [explainer.explain(images[i], int(labels[i]))
+                   for i in range(3)]
+        assert len(batch) == 3
+        for got, want in zip(batch, singles):
+            assert np.allclose(got.saliency, want.saliency, atol=1e-6)
+            assert got.label == want.label
+
+    def test_lime_batch_shapes(self, rng):
+        from repro.classifiers import SmallResNet
+        from repro.explain import LimeExplainer
+        clf = SmallResNet(num_classes=2, width=4, seed=0)
+        images = np.asarray(rng.random((2, 1, 16, 16)),
+                            dtype=nn.get_default_dtype())
+        labels = np.array([0, 1])
+        explainer = LimeExplainer(clf, grid=4, n_samples=24)
+        results = explainer.explain_batch(images, labels)
+        assert len(results) == 2
+        for r in results:
+            assert r.saliency.shape == (16, 16)
+            assert (r.saliency >= 0).all()

@@ -7,7 +7,7 @@ from repro.nn import Tensor
 from repro.nn import functional as F
 from repro.nn.functional import col2im, im2col
 
-from .test_nn_tensor import numeric_grad
+from conftest import numeric_grad
 
 
 def check_grad_fn(forward, arrays, tol=1e-5):

@@ -3,25 +3,10 @@
 import numpy as np
 import pytest
 
+from conftest import numeric_grad
+
 from repro import nn
 from repro.nn.tensor import Tensor, _unbroadcast
-
-
-def numeric_grad(f, x, eps=1e-6):
-    """Central-difference gradient of scalar-valued f wrt array x."""
-    g = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        i = it.multi_index
-        old = x[i]
-        x[i] = old + eps
-        fp = f()
-        x[i] = old - eps
-        fm = f()
-        x[i] = old
-        g[i] = (fp - fm) / (2 * eps)
-        it.iternext()
-    return g
 
 
 def check_grad(build, *arrays, tol=1e-6):
@@ -43,7 +28,8 @@ class TestConstruction:
     def test_from_list(self):
         t = Tensor([1.0, 2.0, 3.0])
         assert t.shape == (3,)
-        assert t.dtype == np.float64
+        assert t.dtype == nn.get_default_dtype()
+        assert t.dtype == np.float32
 
     def test_int_array_promoted_to_float(self):
         t = Tensor(np.array([1, 2, 3]))
@@ -235,7 +221,8 @@ class TestBackwardMechanics:
 
     def test_detach_blocks_gradient(self):
         x = Tensor(np.ones(2), requires_grad=True)
-        (x.detach() * 5).sum().backward()
+        with pytest.raises(RuntimeError, match="autodiff tape"):
+            (x.detach() * 5).sum().backward()
         assert x.grad is None
 
     def test_clone_passes_gradient(self):
