@@ -1,0 +1,176 @@
+"""Per-method single-vs-batched explainer micro-benchmark.
+
+Times every Table II method (plus occlusion) producing saliency maps for
+a batch of brain-dataset images two ways — a per-image ``explain`` loop
+and one ``explain_batch`` call — and writes machine-readable results to
+``BENCH_explainers.json`` at the repo root.  The recorded
+``speedup_batched`` per method is the Table V headline the batched-first
+contract exists for: batched Grad-CAM/FullGrad must stay >= 3x at the
+smoke scale.
+
+Runs at the brain dataset smoke scale (16x16, width-8 classifier,
+untrained weights — explainer cost is architecture-bound, not
+weight-bound)::
+
+    PYTHONPATH=src python benchmarks/bench_explainers.py --label current
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.classifiers import SmallResNet
+from repro.config import ReproConfig
+from repro.core.model import CAEModel
+from repro.data import make_dataset
+from repro.explain import (CAEExplainer, FullGradExplainer, GradCAMExplainer,
+                           ICAMExplainer, ICAMRegModel, LAGANExplainer,
+                           LimeExplainer, MaskGenerator, OcclusionExplainer,
+                           LatentAutoencoder, PatchAttentionClassifier,
+                           SimpleFullGradExplainer, SmoothFullGradExplainer,
+                           StylexExplainer, TSCAMExplainer)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_explainers.json")
+
+IMAGE_SIZE = 16
+WIDTH = 8
+
+
+def build_explainers(images: np.ndarray, labels: np.ndarray,
+                     only=None) -> Dict[str, object]:
+    """The method suite on untrained smoke-scale models.
+
+    Lazy per-method factories: ``only`` skips construction entirely for
+    unselected methods (ICAM/CAE manifold builds are full encoder sweeps
+    a smoke run shouldn't pay for)."""
+    from repro.data.base import ImageDataset
+
+    dataset = ImageDataset(images, labels)
+    classifier = SmallResNet(dataset.num_classes, dataset.image_shape[0],
+                             width=WIDTH, seed=0)
+    config = ReproConfig(image_size=IMAGE_SIZE, base_channels=8, seed=0)
+
+    def make_icam():
+        icam = ICAMRegModel(dataset.num_classes, config)
+        return ICAMExplainer(icam, icam.build_manifold(dataset),
+                             dataset.num_classes)
+
+    def make_cae():
+        cae = CAEModel(dataset.num_classes, config)
+        return CAEExplainer(cae, cae.build_manifold(dataset), classifier,
+                            steps=8)
+
+    factories = {
+        "lime": lambda: LimeExplainer(classifier, grid=4, n_samples=100,
+                                      seed=0),
+        "occlusion": lambda: OcclusionExplainer(classifier, window=4,
+                                                stride=2),
+        "gradcam": lambda: GradCAMExplainer(classifier),
+        "fullgrad": lambda: FullGradExplainer(classifier),
+        "simple_fullgrad": lambda: SimpleFullGradExplainer(classifier),
+        "smooth_fullgrad": lambda: SmoothFullGradExplainer(classifier,
+                                                           n_samples=4),
+        "tscam": lambda: TSCAMExplainer(PatchAttentionClassifier(
+            dataset.num_classes, dataset.image_shape[0],
+            image_size=IMAGE_SIZE, dim=8)),
+        "stylex": lambda: StylexExplainer(
+            LatentAutoencoder(dataset.image_shape[0], IMAGE_SIZE),
+            classifier, steps=8),
+        "lagan": lambda: LAGANExplainer(MaskGenerator(dataset.image_shape[0]),
+                                        classifier),
+        "icam": make_icam,
+        "cae": make_cae,
+    }
+    if only:
+        unknown = set(only) - set(factories)
+        if unknown:
+            raise SystemExit(f"unknown methods: {sorted(unknown)}")
+        factories = {name: fn for name, fn in factories.items()
+                     if name in only}
+    return {name: fn() for name, fn in factories.items()}
+
+
+def time_method(explainer, images: np.ndarray, labels: np.ndarray,
+                repeats: int) -> Dict[str, float]:
+    """Median per-image ms for the explain loop vs one explain_batch."""
+    explainer.explain_batch(images[:2], labels[:2])     # warmup
+    n = len(images)
+
+    singles = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for i in range(n):
+            explainer.explain(images[i], int(labels[i]))
+        singles.append((time.perf_counter() - start) / n)
+    batched = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        explainer.explain_batch(images, labels)
+        batched.append((time.perf_counter() - start) / n)
+
+    single_ms = float(np.median(singles)) * 1000.0
+    batched_ms = float(np.median(batched)) * 1000.0
+    return {
+        "single_ms_per_image": round(single_ms, 4),
+        "batched_ms_per_image": round(batched_ms, 4),
+        "speedup_batched": round(single_ms / batched_ms, 2)
+        if batched_ms > 0 else float("inf"),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="entry name in the JSON (seed | current | ...)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--only", nargs="+",
+                        help="run a subset of methods")
+    args = parser.parse_args()
+
+    dataset = make_dataset("brain_tumor1", "train", image_size=IMAGE_SIZE,
+                           seed=0, counts={0: args.batch, 1: args.batch})
+    idx = np.argsort(np.tile(np.arange(args.batch), 2),
+                     kind="stable")[:args.batch]
+    images = dataset.images[idx]                 # interleave both classes
+    labels = dataset.labels[idx]
+
+    explainers = build_explainers(dataset.images, dataset.labels,
+                                  only=args.only)
+    results = {}
+    for name, explainer in explainers.items():
+        results[name] = time_method(explainer, images, labels, args.repeats)
+        print(f"{name:>16}: single {results[name]['single_ms_per_image']:8.2f}"
+              f" ms/img   batched {results[name]['batched_ms_per_image']:8.2f}"
+              f" ms/img   ({results[name]['speedup_batched']:.1f}x)")
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    entry = doc.setdefault(args.label, {})
+    entry.update({
+        "results": {**entry.get("results", {}), **results},
+        "batch_size": args.batch,
+        "image_size": IMAGE_SIZE,
+        "classifier_width": WIDTH,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    })
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

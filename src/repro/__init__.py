@@ -12,6 +12,8 @@ Subpackages
 * :mod:`repro.explain` — the CAE explainer and nine baseline XAI methods.
 * :mod:`repro.eval` — AOPC/PD, separability, re-assignment, smoothness,
   timing, and trap-demonstration harnesses.
+* :mod:`repro.serve` — the micro-batching, caching saliency serving
+  layer (:class:`~repro.serve.ExplainEngine`).
 
 Quickstart
 ----------

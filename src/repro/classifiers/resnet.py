@@ -85,6 +85,19 @@ class SmallResNet(nn.Module):
         pooled = F.global_avg_pool2d(feats[-1])
         return self.head(pooled), feats[-1]
 
+    def features(self, x: nn.Tensor) -> nn.Tensor:
+        """The last conv feature map only (Grad-CAM's trunk pass)."""
+        return self._features(x)[-1]
+
+    def head_from_features(self, feats: nn.Tensor) -> nn.Tensor:
+        """Logits from a (possibly re-tracked) last-stage feature map.
+
+        Lets Grad-CAM run the conv trunk under ``no_grad`` and restart
+        the tape at the feature map: the backward pass then touches only
+        the pooling + head, never the conv stack.
+        """
+        return self.head(F.global_avg_pool2d(feats))
+
     def forward_with_all_features(self, x: nn.Tensor):
         """Return (logits, all stage feature maps) for FullGrad."""
         feats = self._features(x)

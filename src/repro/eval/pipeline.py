@@ -71,6 +71,7 @@ class ExperimentContext:
         self._cae: Optional[CAEModel] = None
         self._icam: Optional[ICAMRegModel] = None
         self._suite: Optional[ExplainerSuite] = None
+        self._engine = None
         self.train_times: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -185,6 +186,38 @@ class ExperimentContext:
             suite.icam_model = self.icam
             self._suite = suite
         return self._suite
+
+    # ------------------------------------------------------------------
+    def engine(self, include: Optional[tuple] = None, max_batch: int = 16,
+               max_delay_ms: Optional[float] = None,
+               cache_size: int = 256):
+        """The serving-layer :class:`~repro.serve.ExplainEngine` over this
+        context's classifier + suite, so repeated sweeps hit the saliency
+        cache and share micro-batched model calls.  The engine is cached
+        per configuration: calling again with the same arguments returns
+        the same engine (warm cache); different arguments rebuild it.
+        """
+        config = (include, max_batch, max_delay_ms, cache_size)
+        if self._engine is None or self._engine[0] != config:
+            from ..serve import ExplainEngine
+            # suite() caches whatever method set it was first built with,
+            # so filter here: the engine serves exactly `include` even
+            # when the cached suite is broader, and fails loudly when the
+            # cached suite is too narrow to honour the request.
+            explainers = self.suite(include).explainers
+            if include is not None:
+                missing = [name for name in include
+                           if name not in explainers]
+                if missing:
+                    raise KeyError(
+                        f"suite was built without {missing}; construct the "
+                        "context's suite with those methods first")
+                explainers = {name: explainers[name] for name in include}
+            self._engine = (config, ExplainEngine(
+                self.classifier, explainers,
+                max_batch=max_batch, max_delay_ms=max_delay_ms,
+                cache_size=cache_size))
+        return self._engine[1]
 
     # ------------------------------------------------------------------
     def sample_test_images(self, n: int, abnormal_only: bool = False,

@@ -1,9 +1,22 @@
-"""Explainer interface shared by CAE and all nine baselines."""
+"""Explainer interface shared by CAE and all nine baselines.
+
+Batched-first invariant
+-----------------------
+:meth:`Explainer.explain_batch` is the primitive every subclass
+implements: forward *and* backward passes run over the whole image batch
+in single conv/GEMM calls.  Per-sample gradients come free because the
+loss terms are independent across the batch axis — summing the
+per-class-selected logits (:func:`repro.nn.class_score_sum`) and
+backpropagating once yields each sample's own gradient.
+:meth:`Explainer.explain` is a thin one-image wrapper; batch-of-one and
+per-image results agree to float32 tolerance, which the parity test
+suite asserts for every registered method.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -22,49 +35,111 @@ class SaliencyResult:
     meta: Dict = field(default_factory=dict)
 
     def normalized(self) -> np.ndarray:
-        """Saliency rescaled to [0, 1] (monotone, ranking-preserving)."""
-        s = self.saliency - self.saliency.min()
+        """Saliency rescaled to [0, 1]; monotone and ranking-preserving
+        over the non-negative values (the map's contract).
+
+        Non-finite entries are zeroed and out-of-contract negative values
+        clipped to 0 before rescaling, so NaN-polluted or negative-only
+        maps (which batched float32 gradient sweeps can produce) degrade
+        to all-zero maps instead of propagating NaN into downstream
+        metrics.  Negative entries thus collapse to 0 rather than rank.
+        """
+        s = np.nan_to_num(self.saliency, nan=0.0, posinf=0.0, neginf=0.0)
+        s = np.clip(s, 0.0, None)
+        s = s - s.min()
         peak = s.max()
         return s / peak if peak > 0 else s
 
     def top_pixels(self, k: int) -> np.ndarray:
-        """Indices (row, col) of the k most salient pixels, descending."""
-        flat = np.argsort(self.saliency, axis=None)[::-1][:k]
+        """Indices (row, col) of the k most salient pixels, descending.
+
+        Ties break deterministically in row-major pixel order (stable
+        sort), so float32 maps with repeated values rank reproducibly.
+        """
+        flat = np.argsort(-self.saliency, axis=None, kind="stable")[:k]
         return np.stack(np.unravel_index(flat, self.saliency.shape), axis=1)
 
 
 class Explainer:
-    """Base class: produce a saliency map for one image.
+    """Base class: produce saliency maps for a batch of images.
 
-    Subclasses set :attr:`name` and implement :meth:`explain`.  The
-    ``target_label`` argument selects which counter class to contrast
-    against in counterfactual methods; gradient/perturbation methods may
-    ignore it.
+    Subclasses set :attr:`name` and implement :meth:`explain_batch` (the
+    primitive — see the module docstring for the batched-first
+    invariant).  The ``target_labels`` argument selects which counter
+    class to contrast against in counterfactual methods;
+    gradient/perturbation methods may ignore it.  :attr:`needs_gradients`
+    tells serving layers whether the method's batch call may legally run
+    under ``nn.no_grad()``.
     """
 
     name = "base"
 
+    #: True for white-box methods whose explain_batch records a tape and
+    #: calls backward (Grad-CAM, FullGrad family, StyLEx); the serving
+    #: engine wraps everything else in ``nn.no_grad()``.
+    needs_gradients = False
+
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
-        raise NotImplementedError
+        """Thin one-image wrapper over :meth:`explain_batch`."""
+        targets = None if target_label is None \
+            else np.array([target_label], dtype=np.int64)
+        return self.explain_batch(np.asarray(image)[None],
+                                  np.array([label], dtype=np.int64),
+                                  targets)[0]
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
-                      target_labels: Optional[np.ndarray] = None) -> list:
+                      target_labels: Optional[np.ndarray] = None
+                      ) -> List[SaliencyResult]:
         """Explain a batch of images, returning one result per image.
 
-        Default path: loop over :meth:`explain`.  Perturbation methods
-        (occlusion, LIME) override this to score all masked variants of
-        all images through the classifier in shared conv batches, which
-        is substantially faster than per-image sweeps.
+        The primitive of the explainer contract: implementations run the
+        whole batch through shared conv/GEMM calls (and, for white-box
+        methods, one shared backward pass).  Legacy subclasses that only
+        override :meth:`explain` fall back to a per-image loop; all ten
+        registered methods implement the batched path directly.
         """
-        results = []
-        for i, (image, label) in enumerate(zip(images, labels)):
-            target = None if target_labels is None else int(target_labels[i])
-            results.append(self.explain(image, int(label), target))
-        return results
+        if type(self).explain is not Explainer.explain:
+            targets = resolve_targets(labels, target_labels)
+            results = []
+            for i, (image, label) in enumerate(zip(images, labels)):
+                results.append(self.explain(image, int(label),
+                                            target_or_none(targets, i)))
+            return results
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither explain_batch (the "
+            "batched-first primitive) nor a legacy explain override")
 
 
 def default_counter_label(label: int, num_classes: int) -> int:
     """Default counter class: NORMAL (0) for abnormal samples, class 1
     otherwise — mirroring the paper's normal-vs-abnormal transitions."""
     return 0 if label != 0 else 1 % num_classes
+
+
+def resolve_targets(labels: np.ndarray,
+                    target_labels: Optional[np.ndarray],
+                    num_classes: Optional[int] = None) -> np.ndarray:
+    """Per-image target labels as an int array.
+
+    The sentinel -1 marks "no target" entries (``target_labels=None``
+    sets it everywhere; micro-batched serving can also mix -1 with real
+    targets in one array).  When ``num_classes`` is given every sentinel
+    entry is resolved to :func:`default_counter_label` for its image;
+    otherwise sentinels pass through for :func:`target_or_none`.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if target_labels is None:
+        targets = np.full(len(labels), -1, dtype=np.int64)
+    else:
+        targets = np.array(target_labels, dtype=np.int64, copy=True)
+    if num_classes is not None:
+        for i in np.nonzero(targets < 0)[0]:
+            targets[i] = default_counter_label(int(labels[i]), num_classes)
+    return targets
+
+
+def target_or_none(targets: np.ndarray, i: int) -> Optional[int]:
+    """Per-image target for result metadata (-1 sentinel -> None)."""
+    t = int(targets[i])
+    return None if t < 0 else t

@@ -24,7 +24,7 @@ import numpy as np
 from .. import nn
 from ..classifiers import SmallResNet
 from ..core import CAEModel, ClassAssociatedManifold
-from .base import Explainer, SaliencyResult, default_counter_label
+from .base import Explainer, SaliencyResult, resolve_targets
 
 
 class CAEExplainer(Explainer):
@@ -62,6 +62,14 @@ class CAEExplainer(Explainer):
         self.stop_at_flip = stop_at_flip
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _truncate_at_flip(probs_all: np.ndarray, target_label: int) -> int:
+        """Series length after the paper's early stop (>= 2 frames)."""
+        flipped = probs_all.argmax(axis=1) == target_label
+        if flipped.any():
+            return max(int(np.argmax(flipped)) + 1, 2)
+        return len(probs_all)
+
     def generate_series(self, image: np.ndarray, label: int,
                         target_label: int) -> tuple:
         """Decode the synthetic sample series along the guided path.
@@ -79,22 +87,15 @@ class CAEExplainer(Explainer):
             is_code, path.steps, axis=0))
         probs_all = self.classifier.predict_proba(series)
         if self.stop_at_flip:
-            flipped = probs_all.argmax(axis=1) == target_label
-            if flipped.any():
-                stop = int(np.argmax(flipped)) + 1
-                stop = max(stop, 2)
-                series = series[:stop]
-                probs_all = probs_all[:stop]
+            stop = self._truncate_at_flip(probs_all, target_label)
+            series = series[:stop]
+            probs_all = probs_all[:stop]
         return series, probs_all[:, label]
 
-    # ------------------------------------------------------------------
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        if target_label is None:
-            target_label = default_counter_label(
-                label, self.classifier.num_classes)
-        series, probs = self.generate_series(image, label, target_label)
-
+    @staticmethod
+    def _saliency_from_series(image: np.ndarray, series: np.ndarray,
+                              probs: np.ndarray) -> np.ndarray:
+        """Differential-map weighting + endpoint contrast for one image."""
         # Frame-to-frame differential maps weighted by probability drops.
         diffs = np.abs(np.diff(series, axis=0)).sum(axis=1)  # (T-1, H, W)
         prob_drops = np.maximum(probs[:-1] - probs[1:], 0.0)
@@ -108,12 +109,50 @@ class CAEExplainer(Explainer):
         # paper notes suffices for linear paths; blending both is robust to
         # decoder reconstruction error in the first frame.
         endpoint_contrast = np.abs(series[-1] - np.asarray(image)).sum(axis=0)
-        saliency = 0.5 * saliency / max(saliency.max(), 1e-9) \
+        return 0.5 * saliency / max(saliency.max(), 1e-9) \
             + 0.5 * endpoint_contrast / max(endpoint_contrast.max(), 1e-9)
 
-        return SaliencyResult(
-            saliency, label, target_label,
-            meta={"probs": probs, "series_len": len(series)})
+    # ------------------------------------------------------------------
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        """Guided counterfactual series for a whole batch at once.
+
+        Batched-first: one encoder pass locates every exemplar on the
+        manifold, all transition paths are decoded in one shared decoder
+        sweep, and one classifier sweep scores every generated frame.
+        Only the cheap per-image numpy post-processing (early stop,
+        differential-map weighting) stays in a loop.
+        """
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels,
+                                  self.classifier.num_classes)
+        n = len(images)
+
+        cs, is_codes = self.model.encode(images)
+        paths = [self.manifold.plan_path(cs[i], int(labels[i]),
+                                         int(targets[i]), steps=self.steps,
+                                         endpoint=self.endpoint)
+                 for i in range(n)]
+        all_codes = np.concatenate([p.codes for p in paths])
+        all_series = self.model.decode(
+            all_codes, np.repeat(is_codes, self.steps, axis=0))
+        all_probs = self.classifier.predict_proba(all_series)
+
+        results = []
+        for i in range(n):
+            series = all_series[i * self.steps:(i + 1) * self.steps]
+            probs_all = all_probs[i * self.steps:(i + 1) * self.steps]
+            if self.stop_at_flip:
+                stop = self._truncate_at_flip(probs_all, int(targets[i]))
+                series = series[:stop]
+                probs_all = probs_all[:stop]
+            probs = probs_all[:, int(labels[i])]
+            saliency = self._saliency_from_series(images[i], series, probs)
+            results.append(SaliencyResult(
+                saliency, int(labels[i]), int(targets[i]),
+                meta={"probs": probs, "series_len": len(series)}))
+        return results
 
     # ------------------------------------------------------------------
     def explain_all_counters(self, image: np.ndarray, label: int) -> list:

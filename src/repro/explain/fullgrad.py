@@ -11,6 +11,11 @@ as |feature x feature-gradient| maps from every residual stage
 * **Simple FullGrad** — same but without per-map normalisation
   (the "simple" variant of the idiap repository).
 * **Smooth FullGrad** — FullGrad averaged over noisy copies of the input.
+
+All three are batched-first: a whole batch runs one forward and one
+backward pass (per-sample gradients are independent because the summed
+per-class logits decouple across the batch axis), and each per-map
+normalisation happens per sample.
 """
 
 from __future__ import annotations
@@ -22,17 +27,16 @@ import numpy as np
 from .. import nn
 from ..classifiers import SmallResNet
 from ..data.transforms import resize_bilinear
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
-def _postprocess(gradient_map: np.ndarray, normalize: bool) -> np.ndarray:
-    """Abs -> (optionally) min-max normalise one saliency component."""
-    g = np.abs(gradient_map)
+def _postprocess(gradient_maps: np.ndarray, normalize: bool) -> np.ndarray:
+    """Abs -> (optionally) per-sample min-max normalise (N, H, W) maps."""
+    g = np.abs(gradient_maps)
     if normalize:
-        g = g - g.min()
-        peak = g.max()
-        if peak > 0:
-            g = g / peak
+        g = g - g.min(axis=(1, 2), keepdims=True)
+        peak = g.max(axis=(1, 2), keepdims=True)
+        g = np.divide(g, peak, out=g, where=peak > 0)
     return g
 
 
@@ -40,37 +44,46 @@ class FullGradExplainer(Explainer):
     """Full-gradient decomposition saliency."""
 
     name = "fullgrad"
+    needs_gradients = True
 
     def __init__(self, classifier: SmallResNet, normalize: bool = True):
         self.classifier = classifier
         self.normalize = normalize
 
-    def _saliency_once(self, image: np.ndarray, label: int) -> np.ndarray:
+    def _saliency_batch(self, images: np.ndarray,
+                        labels: np.ndarray) -> np.ndarray:
+        """(N, H, W) FullGrad maps from one batched forward/backward."""
         self.classifier.eval()
-        x = nn.Tensor(image[None], requires_grad=True)
-        logits, feats = self.classifier.forward_with_all_features(x)
-        for f in feats:
-            f.retain_grad()
-        score = logits[np.arange(1), np.array([label])].sum()
-        score.backward()
+        x = nn.Tensor(images, requires_grad=True)
+        # Only input/feature gradients are consumed; freezing the weights
+        # drops every weight-gradient GEMM from the shared backward pass.
+        with nn.frozen(self.classifier):
+            logits, feats = self.classifier.forward_with_all_features(x)
+            for f in feats:
+                f.retain_grad()
+            nn.class_score_sum(logits, labels).backward()
 
-        h, w = image.shape[1:]
+        h, w = images.shape[2:]
         # Input-gradient term: |x * dL/dx| summed over channels.
-        saliency = _postprocess((x.grad[0] * image).sum(axis=0),
-                                self.normalize)
+        saliency = _postprocess((x.grad * images).sum(axis=1), self.normalize)
         # Layer terms: |feat * dL/dfeat| channel-summed, upsampled.
         for f in feats:
-            term = np.abs(f.grad[0] * f.data[0]).sum(axis=0)
-            if term.shape != (h, w):
-                term = resize_bilinear(term[None, None], h)[0, 0]
+            term = np.abs(f.grad * f.data).sum(axis=1)      # (N, h', w')
+            if term.shape[1:] != (h, w):
+                term = resize_bilinear(term[:, None], h)[:, 0]
             saliency = saliency + _postprocess(term, self.normalize)
         return saliency
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
-        saliency = self._saliency_once(image, label)
-        return SaliencyResult(saliency, label, target_label)
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None
+                      ) -> List[SaliencyResult]:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        saliency = self._saliency_batch(images, labels)
+        return [SaliencyResult(saliency[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]
 
 
 class SimpleFullGradExplainer(FullGradExplainer):
@@ -83,7 +96,13 @@ class SimpleFullGradExplainer(FullGradExplainer):
 
 
 class SmoothFullGradExplainer(FullGradExplainer):
-    """FullGrad averaged over Gaussian-noised inputs (SmoothGrad-style)."""
+    """FullGrad averaged over Gaussian-noised inputs (SmoothGrad-style).
+
+    The noise stream is reseeded per call and shared across the batch
+    (sample s applies one noise map to every image), so batch-of-one and
+    full-batch runs see identical perturbations — the property the
+    batch-vs-single parity suite relies on.
+    """
 
     name = "smooth_fullgrad"
 
@@ -92,14 +111,21 @@ class SmoothFullGradExplainer(FullGradExplainer):
         super().__init__(classifier, normalize=True)
         self.n_samples = n_samples
         self.noise_scale = noise_scale
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
-        total = np.zeros(image.shape[1:])
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None
+                      ) -> List[SaliencyResult]:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        rng = np.random.default_rng(self.seed)
+        total = np.zeros(images.shape[:1] + images.shape[2:])
         for _ in range(self.n_samples):
-            noise = self.rng.standard_normal(image.shape).astype(image.dtype)
-            noisy = image + self.noise_scale * noise
-            total += self._saliency_once(np.clip(noisy, 0, 1), label)
-        return SaliencyResult(total / self.n_samples, label, target_label)
+            noise = rng.standard_normal(images.shape[1:]).astype(images.dtype)
+            noisy = np.clip(images + self.noise_scale * noise[None], 0, 1)
+            total += self._saliency_batch(noisy, labels)
+        total /= self.n_samples
+        return [SaliencyResult(total[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]

@@ -2,40 +2,55 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from .. import nn
 from ..classifiers import SmallResNet
 from ..data.transforms import resize_bilinear
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
 class GradCAMExplainer(Explainer):
-    """Channel-weighted activation map from last-stage gradients."""
+    """Channel-weighted activation map from last-stage gradients.
+
+    Batched-first: one forward and one backward over the whole batch.
+    Summing each sample's selected class logit keeps the per-sample
+    gradients independent, so ``feats.grad[i]`` is exactly the gradient
+    a one-image pass would produce.  Grad-CAM only needs gradients *at*
+    the last feature map, so the conv trunk runs under ``no_grad`` and
+    the tape restarts there: the backward pass covers just the pooling +
+    head (with classifier weights frozen), never the conv stack.
+    """
 
     name = "gradcam"
+    needs_gradients = True
 
     def __init__(self, classifier: SmallResNet):
         self.classifier = classifier
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None
+                      ) -> List[SaliencyResult]:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
         self.classifier.eval()
-        x = nn.Tensor(image[None], requires_grad=True)
-        logits, feats = self.classifier.forward_with_features(x)
-        feats.retain_grad()
-        score = logits[np.arange(1), np.array([label])].sum()
-        score.backward()
 
-        grads = feats.grad[0]                  # (C, h, w)
-        activations = feats.data[0]
-        channel_weights = grads.mean(axis=(1, 2))   # GAP of gradients
-        cam = np.maximum(
-            (channel_weights[:, None, None] * activations).sum(axis=0), 0.0)
+        with nn.no_grad():
+            trunk = self.classifier.features(nn.Tensor(images))
+        feats = nn.Tensor(trunk.data, requires_grad=True)
+        with nn.frozen(self.classifier):
+            logits = self.classifier.head_from_features(feats)
+            nn.class_score_sum(logits, labels).backward()
 
-        h, w = image.shape[1:]
-        cam = resize_bilinear(cam[None, None], h)[0, 0]
-        return SaliencyResult(cam, label, target_label)
+        channel_weights = feats.grad.mean(axis=(2, 3))      # (N, C)
+        cams = np.maximum(
+            (channel_weights[:, :, None, None] * feats.data).sum(axis=1),
+            0.0)                                            # (N, h, w)
+        h = images.shape[2]
+        cams = resize_bilinear(cams[:, None], h)[:, 0]
+        return [SaliencyResult(cams[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]

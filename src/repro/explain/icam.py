@@ -30,7 +30,7 @@ from ..core.bbcfe import PairSampler
 from ..core.manifold import ClassAssociatedManifold
 from ..core.model import CAEModel
 from ..data import ImageDataset
-from .base import Explainer, SaliencyResult, default_counter_label
+from .base import Explainer, SaliencyResult, resolve_targets
 
 
 class ICAMRegModel(CAEModel):
@@ -138,13 +138,16 @@ class ICAMExplainer(Explainer):
         self.manifold = manifold
         self.num_classes = num_classes
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
-        if target_label is None:
-            target_label = default_counter_label(label, self.num_classes)
-        __, is_code = self.model.encode(image[None])
-        counter_cs = self.manifold.centroid(target_label)
-        translated = self.model.decode(counter_cs[None], is_code)[0]
-        saliency = np.abs(translated - image).sum(axis=0)
-        return SaliencyResult(saliency, label, target_label)
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        """One encoder pass + one decoder pass for the whole batch."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels, self.num_classes)
+        __, is_codes = self.model.encode(images)
+        counter_cs = np.stack([self.manifold.centroid(int(t))
+                               for t in targets])
+        translated = self.model.decode(counter_cs, is_codes)
+        saliency = np.abs(translated - images).sum(axis=1)
+        return [SaliencyResult(saliency[i], int(labels[i]), int(targets[i]))
+                for i in range(len(images))]

@@ -18,7 +18,7 @@ import numpy as np
 from .. import nn
 from ..classifiers import SmallResNet
 from ..data import DataLoader, ImageDataset
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
 class MaskGenerator(nn.Module):
@@ -82,10 +82,15 @@ class LAGANExplainer(Explainer):
         self.mask_generator = mask_generator
         self.classifier = classifier
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        """One batched generator forward: saliency for the whole batch."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
         self.mask_generator.eval()
         with nn.no_grad():
-            mask = self.mask_generator(nn.Tensor(image[None])).data[0, 0]
-        return SaliencyResult(mask, label, target_label)
+            masks = self.mask_generator(nn.Tensor(images)).data[:, 0]
+        return [SaliencyResult(masks[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]

@@ -4,8 +4,12 @@ Superpixels are a regular grid (appropriate at 32x32 where classic
 quickshift superpixels would be single pixels anyway).  Perturbed samples
 mask random superpixel subsets with the image mean; a ridge regression
 weighted by proximity to the original yields per-superpixel importance.
-The perturbed variants of every image in a batch are scored through the
-classifier together, one shared conv batch per chunk.
+
+Batched-first: the mask design matrix is drawn once per call (reseeded
+from ``seed``, shared by every image in the batch), so the weighted ridge
+normal matrix is factorised a single time, all images' perturbed
+variants are scored through the classifier in shared conv batches, and
+batch-of-one ``explain`` results match the batched path exactly.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..classifiers import SmallResNet
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
 class LimeExplainer(Explainer):
@@ -33,7 +37,7 @@ class LimeExplainer(Explainer):
         self.n_samples = n_samples
         self.ridge = ridge
         self.kernel_width = kernel_width
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
         self.max_batch = max_batch
 
     def _segments(self, h: int, w: int) -> np.ndarray:
@@ -42,35 +46,33 @@ class LimeExplainer(Explainer):
         cols = (np.arange(w) * self.grid // w)[None, :]
         return rows * self.grid + cols
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        target = None if target_label is None else np.array([target_label])
-        return self.explain_batch(np.asarray(image)[None],
-                                  np.array([label]), target)[0]
-
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None) -> list:
-        """Fit one local surrogate per image, scoring all perturbed
-        variants of a chunk of images in a single classifier sweep."""
+        """Fit one local surrogate per image over a shared mask design,
+        scoring all perturbed variants of a chunk of images in a single
+        classifier sweep."""
         images = np.asarray(images, dtype=nn.get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
         n, c, h, w = images.shape
         segments = self._segments(h, w)
         n_segments = self.grid * self.grid
         s = self.n_samples
 
-        # Binary presence matrices; first row per image is unperturbed.
-        z = self.rng.random((n, s, n_segments)) > 0.5
-        z[:, 0] = True
+        # Shared binary presence design; first row is unperturbed.  Drawn
+        # fresh per call so batch composition cannot shift the stream.
+        rng = np.random.default_rng(self.seed)
+        z = rng.random((s, n_segments)) > 0.5
+        z[0] = True
+        off = ~z[:, segments]                               # (S, H, W)
 
         chunk = max(1, self.max_batch // s)
         probs = np.empty((n, s))
         for start in range(0, n, chunk):
             imgs = images[start:start + chunk]
             m = len(imgs)
-            off = ~z[start:start + m][..., segments]        # (m, S, H, W)
             fills = imgs.mean(axis=(1, 2, 3))
-            batch = np.where(off[:, :, None],
+            batch = np.where(off[None, :, None],
                              fills[:, None, None, None, None],
                              imgs[:, None])                 # (m, S, C, H, W)
             out = self.classifier.predict_proba(
@@ -79,21 +81,17 @@ class LimeExplainer(Explainer):
                                          np.arange(s)[None, :],
                                          labels[start:start + m, None]]
 
-        results = []
-        eye = self.ridge * np.eye(n_segments)
-        for i in range(n):
-            # Proximity kernel on cosine-like distance in mask space.
-            distance = 1.0 - z[i].mean(axis=1)
-            kernel = np.exp(-(distance ** 2) / self.kernel_width ** 2)
+        # Proximity kernel on cosine-like distance in mask space; the
+        # design is shared, so the weighted normal matrix is solved once
+        # for every image's response vector.
+        distance = 1.0 - z.mean(axis=1)
+        kernel = np.exp(-(distance ** 2) / self.kernel_width ** 2)
+        x = z.astype(np.float64)
+        xw = x * kernel[:, None]
+        gram = x.T @ xw + self.ridge * np.eye(n_segments)
+        coefs = np.linalg.solve(gram, xw.T @ probs.T).T     # (n, n_segments)
 
-            # Weighted ridge regression: solve (X^T W X + rI) w = X^T W y.
-            x = z[i].astype(np.float64)
-            xw = x * kernel[:, None]
-            gram = x.T @ xw + eye
-            coef = np.linalg.solve(gram, xw.T @ probs[i])
-
-            saliency = np.maximum(coef[segments], 0.0)
-            target = None if target_labels is None else int(target_labels[i])
-            results.append(SaliencyResult(saliency, int(labels[i]), target,
-                                          meta={"coef": coef}))
-        return results
+        return [SaliencyResult(np.maximum(coefs[i][segments], 0.0),
+                               int(labels[i]), target_or_none(targets, i),
+                               meta={"coef": coefs[i]})
+                for i in range(n)]

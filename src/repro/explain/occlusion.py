@@ -15,7 +15,7 @@ import numpy as np
 
 from .. import nn
 from ..classifiers import SmallResNet
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
 class OcclusionExplainer(Explainer):
@@ -37,17 +37,12 @@ class OcclusionExplainer(Explainer):
                 for top in range(0, h - self.window + 1, self.stride)
                 for left in range(0, w - self.window + 1, self.stride)]
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        target = None if target_label is None else np.array([target_label])
-        return self.explain_batch(np.asarray(image)[None],
-                                  np.array([label]), target)[0]
-
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None) -> list:
         """Score all masked variants of all images in shared conv batches."""
         images = np.asarray(images, dtype=nn.get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
         n, c, h, w = images.shape
         positions = self._positions(h, w)
         n_pos = len(positions)
@@ -83,8 +78,7 @@ class OcclusionExplainer(Explainer):
                 saliency[top:top + self.window, left:left + self.window] += drop
                 counts[top:top + self.window, left:left + self.window] += 1
             counts[counts == 0] = 1
-            target = None if target_labels is None else int(target_labels[i])
             results.append(SaliencyResult(saliency / counts, int(labels[i]),
-                                          target,
+                                          target_or_none(targets, i),
                                           meta={"base_prob": float(base[i])}))
         return results

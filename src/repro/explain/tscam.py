@@ -10,15 +10,13 @@ dataset, and the saliency map is attention x token-class-score.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
 from ..data import DataLoader, ImageDataset
 from ..data.transforms import resize_bilinear
-from .base import Explainer, SaliencyResult
+from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
 
 
 class PatchAttentionClassifier(nn.Module):
@@ -107,25 +105,35 @@ def train_tscam(dataset: ImageDataset, epochs: int = 5, lr: float = 1e-3,
 
 
 class TSCAMExplainer(Explainer):
-    """Saliency = class-token attention x per-token class score."""
+    """Saliency = class-token attention x per-token class score.
+
+    Batched-first: one ``no_grad`` forward over the whole batch; the
+    attention/semantic coupling is a vectorized elementwise product.
+    """
 
     name = "tscam"
 
     def __init__(self, tscam_model: PatchAttentionClassifier):
         self.model = tscam_model
 
-    def explain(self, image: np.ndarray, label: int,
-                target_label: Optional[int] = None) -> SaliencyResult:
-        image = np.asarray(image, dtype=nn.get_default_dtype())
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      target_labels: Optional[np.ndarray] = None) -> list:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        n = len(images)
         self.model.eval()
         with nn.no_grad():
             __, attention, token_scores = self.model.forward_full(
-                nn.Tensor(image[None]))
+                nn.Tensor(images))
         t = self.model.tokens_per_side
-        attn_map = attention.data[0].reshape(t, t)
-        semantic = F.softmax(token_scores, axis=-1).data[0, :, label]
-        semantic_map = semantic.reshape(t, t)
-        coupled = attn_map * semantic_map
-        h = image.shape[1]
-        saliency = resize_bilinear(coupled[None, None], h)[0, 0]
-        return SaliencyResult(saliency, label, target_label)
+        attn_maps = attention.data.reshape(n, t, t)
+        semantic = F.softmax(token_scores, axis=-1).data    # (N, T, classes)
+        semantic = np.take_along_axis(
+            semantic, labels[:, None, None], axis=2)[:, :, 0]
+        coupled = attn_maps * semantic.reshape(n, t, t)
+        h = images.shape[2]
+        saliency = resize_bilinear(coupled[:, None], h)[:, 0]
+        return [SaliencyResult(saliency[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(n)]

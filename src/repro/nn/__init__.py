@@ -27,11 +27,12 @@ Performance contract
 """
 
 from . import functional
+from .functional import class_score_sum
 from .blocks import MLP, DownBlock, ResidualBlock, UpBlock
 from .layers import (AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, Dropout,
                      Flatten, GlobalAvgPool2d, InstanceNorm2d, LayerNorm,
                      LeakyReLU, Linear, MaxPool2d, Module, Parameter, ReLU,
-                     Sequential, Sigmoid, Tanh, Upsample)
+                     Sequential, Sigmoid, Tanh, Upsample, frozen)
 from .losses import (accuracy, binary_real_fake_loss, cross_entropy, l1_loss,
                      mse_loss)
 from .optim import SGD, Adam, Optimizer
@@ -42,7 +43,7 @@ from .tensor import (Tensor, as_tensor, enable_grad, get_default_dtype,
 
 __all__ = [
     "Tensor", "as_tensor", "zeros", "ones", "randn",
-    "no_grad", "enable_grad", "set_grad_enabled", "is_grad_enabled",
+    "no_grad", "enable_grad", "set_grad_enabled", "is_grad_enabled", "frozen",
     "set_default_dtype", "get_default_dtype",
     "Module", "Parameter", "Sequential", "Linear", "Conv2d",
     "ConvTranspose2d", "InstanceNorm2d", "BatchNorm2d", "LayerNorm",
@@ -51,5 +52,5 @@ __all__ = [
     "ResidualBlock", "DownBlock", "UpBlock", "MLP",
     "SGD", "Adam", "Optimizer",
     "l1_loss", "mse_loss", "cross_entropy", "binary_real_fake_loss",
-    "accuracy", "save_state", "load_state", "functional",
+    "accuracy", "class_score_sum", "save_state", "load_state", "functional",
 ]

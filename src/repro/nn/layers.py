@@ -19,6 +19,37 @@ from . import tensor as tensor_mod
 from .tensor import Tensor
 
 
+class frozen:
+    """Context manager: parameters of ``modules`` stop requiring grad.
+
+    Explainers that backpropagate only toward activations/inputs (the
+    whole white-box family) wrap their backward passes in this so the
+    tape skips every weight-gradient GEMM — a large share of conv
+    backward cost — while per-sample input/feature gradients are
+    untouched.  Restores each parameter's previous flag on exit.
+    """
+
+    def __init__(self, *modules: "Module"):
+        self.params = []
+        seen: set = set()
+        for module in modules:
+            for p in module.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    self.params.append(p)
+
+    def __enter__(self) -> "frozen":
+        self.prev = [p.requires_grad for p in self.params]
+        for p in self.params:
+            p.requires_grad = False
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for p, flag in zip(self.params, self.prev):
+            p.requires_grad = flag
+        return False
+
+
 class Parameter(Tensor):
     """A trainable tensor; discovered automatically by :class:`Module`.
 

@@ -23,15 +23,23 @@ def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
     return (diff * diff).mean()
 
 
-def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
     """Softmax cross-entropy with integer labels.
 
     Matches the paper's log-softmax formulation in eqs (5), (6), (8), (9).
+    ``reduction="sum"`` keeps per-sample loss terms at unit scale, which
+    batched explainers rely on: the gradient of each sample's term is
+    then identical to the gradient of a batch-of-one mean loss.
     """
     labels = np.asarray(labels, dtype=np.int64)
     logp = F.log_softmax(logits, axis=-1)
     n = logits.shape[0]
     picked = logp[np.arange(n), labels]
+    if reduction == "sum":
+        return -picked.sum()
+    if reduction != "mean":
+        raise ValueError(f"unknown reduction {reduction!r}")
     return -picked.mean()
 
 

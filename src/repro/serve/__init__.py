@@ -1,0 +1,19 @@
+"""``repro.serve`` — the saliency serving layer.
+
+Builds on the batched-first explainer contract (every method's
+``explain_batch`` runs its forward/backward over the whole batch in
+shared conv/GEMM calls) and the ``nn.no_grad()`` inference mode to serve
+explanation requests at throughput: the :class:`ExplainEngine`
+micro-batches incoming ``(image, label, method)`` requests up to a
+configurable batch size/deadline, runs gradient-free methods under
+``no_grad``, and fronts everything with an LRU saliency cache keyed on
+``(image_digest, method, label, target)``.
+"""
+
+from .engine import (ExplainEngine, PendingExplain, SaliencyCache,
+                     image_digest, request_key)
+
+__all__ = [
+    "ExplainEngine", "PendingExplain", "SaliencyCache",
+    "image_digest", "request_key",
+]

@@ -1,0 +1,303 @@
+"""The ``ExplainEngine``: a caching, micro-batching saliency server.
+
+The engine owns the trained black-box classifier plus the explainer
+suite and fronts them with the serving contract the ROADMAP's
+heavy-traffic north star needs:
+
+* **Micro-batching** — incoming ``(image, label, method)`` requests are
+  queued per method and executed through the method's batched-first
+  :meth:`~repro.explain.Explainer.explain_batch` once ``max_batch``
+  requests are pending (or the oldest pending request is older than
+  ``max_delay_ms``, or the caller forces a :meth:`flush`).  One queued
+  batch costs one shared conv/GEMM sweep instead of N independent ones.
+* **Inference mode** — methods that declare
+  ``needs_gradients = False`` run their batch inside ``nn.no_grad()``;
+  white-box methods (Grad-CAM, FullGrad family, StyLEx) keep the tape.
+* **Saliency cache** — a bounded LRU keyed on
+  ``(image_digest, method, label, target)``; repeat requests for the
+  same image/method pair are served without touching the models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..explain.base import Explainer, SaliencyResult
+
+CacheKey = Tuple[str, str, int, Optional[int]]
+
+
+def image_digest(image: np.ndarray) -> str:
+    """Content digest of one image (shape/dtype-aware, layout-stable)."""
+    image = np.ascontiguousarray(image)
+    h = hashlib.sha1()
+    h.update(str(image.shape).encode())
+    h.update(str(image.dtype).encode())
+    h.update(image.tobytes())
+    return h.hexdigest()
+
+
+def request_key(image: np.ndarray, method: str, label: int,
+                target_label: Optional[int]) -> CacheKey:
+    """Cache key for one explain request."""
+    target = None if target_label is None else int(target_label)
+    return (image_digest(image), method, int(label), target)
+
+
+class SaliencyCache:
+    """Bounded LRU mapping :data:`CacheKey` -> :class:`SaliencyResult`."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._store: "OrderedDict[CacheKey, SaliencyResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: CacheKey, result: SaliencyResult) -> None:
+        # Hits hand out the cached object itself (no per-hit copy), so
+        # freeze the map: an in-place mutation by a consumer raises
+        # instead of silently corrupting every future hit.
+        saliency = getattr(result, "saliency", None)
+        if isinstance(saliency, np.ndarray):
+            saliency.setflags(write=False)
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = result
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+
+@dataclass
+class PendingExplain:
+    """Handle for a queued request; resolves when its batch runs."""
+
+    engine: "ExplainEngine"
+    method: str
+    cache_hit: bool = False
+    _result: Optional[SaliencyResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> SaliencyResult:
+        """The saliency result, flushing the owning queue if needed.
+
+        A failing micro-batch propagates its exception from the flush
+        (the request stays queued for a retry); a request that somehow
+        remains unresolved raises instead of returning None.
+        """
+        if self._result is None:
+            self.engine.flush(self.method)
+        if self._result is None:
+            raise RuntimeError(
+                f"{self.method!r} explain request did not resolve after "
+                "flush")
+        return self._result
+
+
+@dataclass(eq=False)          # identity semantics (fields hold ndarrays)
+class _QueuedRequest:
+    image: np.ndarray
+    label: int
+    target_label: Optional[int]
+    key: CacheKey
+    handle: PendingExplain
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class ExplainEngine:
+    """Serving layer over a classifier + explainer suite (see module doc).
+
+    Parameters
+    ----------
+    classifier:
+        The trained black-box model the explainers interrogate.
+    explainers:
+        ``name -> Explainer`` mapping (an
+        :class:`~repro.explain.ExplainerSuite`'s ``explainers`` dict).
+    max_batch:
+        Micro-batch size: a method's queue auto-flushes when this many
+        requests are pending.
+    max_delay_ms:
+        Deadline: a submit auto-flushes a method whose oldest queued
+        request has waited at least this long.  ``None`` disables the
+        deadline (flush on size or demand only).
+    cache_size:
+        LRU saliency-cache capacity (entries).
+    """
+
+    def __init__(self, classifier, explainers: Dict[str, Explainer],
+                 max_batch: int = 16, max_delay_ms: Optional[float] = None,
+                 cache_size: int = 256):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.classifier = classifier
+        self.explainers = dict(explainers)
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.cache = SaliencyCache(cache_size)
+        self._queues: Dict[str, List[_QueuedRequest]] = {}
+        self.batches_run = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return tuple(self.explainers)
+
+    def stats(self) -> Dict[str, int]:
+        """Serving counters (cache + batching) for dashboards/tests."""
+        return {
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_evictions": self.cache.evictions,
+            "cache_size": len(self.cache),
+            "batches_run": self.batches_run,
+            "requests_served": self.requests_served,
+            "pending": sum(len(q) for q in self._queues.values()),
+        }
+
+    def pending_count(self, method: Optional[str] = None) -> int:
+        if method is not None:
+            return len(self._queues.get(method, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def _explainer(self, method: str) -> Explainer:
+        try:
+            return self.explainers[method]
+        except KeyError:
+            raise KeyError(
+                f"unknown method {method!r}; engine serves {self.methods}")
+
+    def _run_batch(self, method: str,
+                   requests: List[_QueuedRequest]) -> None:
+        """Execute one micro-batch through the method's batched path."""
+        explainer = self._explainer(method)
+        images = np.stack([r.image for r in requests])
+        labels = np.array([r.label for r in requests], dtype=np.int64)
+        if any(r.target_label is not None for r in requests):
+            targets = np.array(
+                [-1 if r.target_label is None else int(r.target_label)
+                 for r in requests], dtype=np.int64)
+        else:
+            targets = None
+        if explainer.needs_gradients:
+            results = explainer.explain_batch(images, labels, targets)
+        else:
+            with nn.no_grad():
+                results = explainer.explain_batch(images, labels, targets)
+        self.batches_run += 1
+        for request, result in zip(requests, results):
+            self.cache.put(request.key, result)
+            request.handle._result = result
+            self.requests_served += 1
+
+    def flush(self, method: Optional[str] = None) -> int:
+        """Run all pending micro-batches (for one method or all).
+
+        Returns the number of requests resolved.
+        """
+        methods = [method] if method is not None else list(self._queues)
+        resolved = 0
+        for name in methods:
+            queue = self._queues.get(name)
+            while queue:
+                batch = queue[:self.max_batch]
+                # Dequeue only after success: a raising explain_batch
+                # propagates to the caller with the requests still
+                # queued, so their handles stay resolvable by a retry.
+                self._run_batch(name, batch)
+                del queue[:len(batch)]
+                resolved += len(batch)
+        return resolved
+
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray, label: int, method: str,
+               target_label: Optional[int] = None) -> PendingExplain:
+        """Queue one request; returns a handle resolving at flush time.
+
+        Cache hits resolve immediately.  The owning queue auto-flushes
+        when ``max_batch`` requests are pending or the oldest queued
+        request is older than ``max_delay_ms``.
+        """
+        self._explainer(method)
+        image = np.asarray(image)
+        key = request_key(image, method, label, target_label)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.requests_served += 1
+            return PendingExplain(self, method, cache_hit=True,
+                                  _result=cached)
+
+        # Own a copy: the request may sit queued until a later flush, and
+        # the cache key was digested just now — a caller reusing its
+        # buffer must not change what this request (or the cache) sees.
+        # Cache hits above stay allocation-free.
+        image = np.array(image, copy=True)
+        handle = PendingExplain(self, method)
+        queue = self._queues.setdefault(method, [])
+        request = _QueuedRequest(image, int(label), target_label, key,
+                                 handle)
+        queue.append(request)
+        deadline_hit = (
+            self.max_delay_ms is not None
+            and (time.monotonic() - queue[0].enqueued_at) * 1000.0
+            >= self.max_delay_ms)
+        if len(queue) >= self.max_batch or deadline_hit:
+            try:
+                self.flush(method)
+            except Exception:
+                # The exception propagates before the caller ever holds
+                # the handle — drop the unresolved request so a retried
+                # submit doesn't enqueue a duplicate nobody can resolve.
+                if handle._result is None and request in queue:
+                    queue.remove(request)
+                raise
+        return handle
+
+    def explain(self, image: np.ndarray, label: int, method: str,
+                target_label: Optional[int] = None) -> SaliencyResult:
+        """Synchronous single-request path (submit + resolve)."""
+        return self.submit(image, label, method, target_label).result()
+
+    def explain_batch(self, images: np.ndarray, labels: np.ndarray,
+                      method: str,
+                      target_labels: Optional[np.ndarray] = None
+                      ) -> List[SaliencyResult]:
+        """Cache-aware batched path: only cache misses hit the models."""
+        handles = [
+            self.submit(images[i], int(labels[i]), method,
+                        None if target_labels is None
+                        else int(target_labels[i]))
+            for i in range(len(images))
+        ]
+        self.flush(method)
+        return [h.result() for h in handles]

@@ -200,6 +200,18 @@ class TestTiming:
                                  n_images=2)
         assert set(times) == {"gradcam"}
 
+    def test_time_all_methods_batched(self, tiny_classifier, tiny_test_set):
+        from repro.eval import time_all_methods_batched
+        times = time_all_methods_batched(
+            {"gradcam": GradCAMExplainer(tiny_classifier)},
+            tiny_test_set.images, tiny_test_set.labels, n_images=4,
+            batch_size=4)
+        timing = times["gradcam"]
+        assert timing.per_image_ms > 0
+        assert timing.batched_ms > 0
+        assert timing.speedup == pytest.approx(
+            timing.per_image_ms / timing.batched_ms)
+
 
 class TestTraps:
     def test_decision_surface_has_flip_region(self):

@@ -44,6 +44,71 @@ class TestIm2Col:
         cols = im2col(x, kernel=3, stride=2, padding=1)
         assert cols.shape == (2, 3 * 9, 16)
 
+    def test_nonoverlap_fast_path_matches_scatter(self, rng):
+        """The stride >= kernel strided-view write must equal the generic
+        scatter-add loop (here reproduced inline) on gapped windows."""
+        cols = rng.standard_normal((2, 1 * 2 * 2, 2 * 2))
+        x_shape = (2, 1, 7, 7)
+        kernel, stride = 2, 3                 # stride > kernel: gaps
+        back = col2im(cols, x_shape, kernel, stride, padding=0)
+        expected = np.zeros(x_shape)
+        cols6 = cols.reshape(2, 1, 2, 2, 2, 2)
+        for ki in range(kernel):
+            for kj in range(kernel):
+                expected[:, :, ki:ki + stride * 2:stride,
+                         kj:kj + stride * 2:stride] += cols6[:, :, ki, kj]
+        assert np.allclose(back, expected)
+
+    def test_nonoverlap_roundtrip_with_padding(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        cols = im2col(x, kernel=2, stride=2, padding=2)
+        back = col2im(cols, x.shape, kernel=2, stride=2, padding=2)
+        assert np.allclose(back, x)
+
+
+class TestClassScoreSum:
+    def test_value_and_gradient(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        labels = np.array([2, 0, 1, 2])
+        out = F.class_score_sum(logits, labels)
+        expected = sum(logits.data[i, labels[i]] for i in range(4))
+        assert out.data == pytest.approx(expected)
+        out.backward()
+        grad = np.zeros((4, 3))
+        grad[np.arange(4), labels] = 1.0
+        assert np.allclose(logits.grad, grad)
+
+    def test_matches_getitem_sum(self, rng):
+        data = rng.standard_normal((3, 5))
+        labels = np.array([4, 1, 0])
+        a = Tensor(data.copy(), requires_grad=True)
+        b = Tensor(data.copy(), requires_grad=True)
+        F.class_score_sum(a, labels).backward()
+        a_grad = a.grad
+        b[np.arange(3), labels].sum().backward()
+        assert np.allclose(a_grad, b.grad)
+
+
+class TestFrozen:
+    def test_skips_weight_grads_keeps_input_grads(self, rng):
+        from repro import nn
+        layer = nn.Linear(4, 2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        with nn.frozen(layer):
+            (layer(x) ** 2).sum().backward()
+        assert layer.weight.grad is None
+        assert x.grad is not None
+        assert layer.weight.requires_grad    # restored on exit
+
+    def test_restores_mixed_flags(self, rng):
+        from repro import nn
+        layer = nn.Linear(2, 2, rng=rng)
+        layer.bias.requires_grad = False
+        with nn.frozen(layer):
+            assert not layer.weight.requires_grad
+        assert layer.weight.requires_grad
+        assert not layer.bias.requires_grad
+
 
 class TestConv2d:
     def test_shape_stride2(self, rng):
