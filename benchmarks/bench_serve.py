@@ -1,0 +1,237 @@
+"""Serving-runtime micro-benchmark: throughput, dedup, shard balance.
+
+Exercises the ``repro.serve`` engine runtime the way traffic would and
+writes machine-readable results to ``BENCH_serve.json`` at the repo
+root:
+
+* **Mixed-method throughput** — N distinct requests round-robin over a
+  mixed gradient/perturbation method set, submitted via
+  ``submit_async`` and resolved with ``drain()``; requests/sec for the
+  ``SerialExecutor`` vs the ``ThreadedExecutor``.  The threaded speedup
+  is hardware-bound (batches overlap only where BLAS releases the GIL
+  across real cores), so ``cpu_count`` is recorded next to it.
+* **Duplicate-heavy dedup** — U unique images requested R times each
+  through one method; the run *verifies* via ``stats()`` counters that
+  each unique request was computed exactly once (``cache_inserts ==
+  U``) with every duplicate served by dedup fan-out or the cache, and
+  records the hit breakdown.
+* **Shard balance** — distinct-key fill of the sharded cache; per-shard
+  sizes and the max/mean imbalance ratio.
+
+Runs at the brain smoke scale (16x16, width-8 classifier, untrained
+weights — engine cost is architecture-bound, not weight-bound)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --label current
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.classifiers import SmallResNet
+from repro.data import make_dataset
+from repro.explain import (FullGradExplainer, GradCAMExplainer,
+                           OcclusionExplainer, SimpleFullGradExplainer)
+from repro.serve import ExplainEngine, ShardedSaliencyCache, ThreadedExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_serve.json")
+
+IMAGE_SIZE = 16
+WIDTH = 8
+
+
+def build_engine(classifier, executor, max_batch: int = 8,
+                 cache_size: int = 512, shards: int = 4) -> ExplainEngine:
+    """Fresh engine (cold cache) over the mixed method set."""
+    return ExplainEngine(
+        classifier,
+        {"gradcam": GradCAMExplainer(classifier),
+         "fullgrad": FullGradExplainer(classifier),
+         "simple_fullgrad": SimpleFullGradExplainer(classifier),
+         "occlusion": OcclusionExplainer(classifier, window=4, stride=2)},
+        max_batch=max_batch, cache_size=cache_size, cache_shards=shards,
+        executor=executor)
+
+
+def throughput(classifier, images, labels, make_executor_fn,
+               repeats: int) -> float:
+    """Best-of-``repeats`` requests/sec for one executor flavour.
+
+    ``make_executor_fn`` builds a fresh executor per repeat (each
+    engine's ``close()`` shuts its executor down).
+    """
+    methods = ("gradcam", "fullgrad", "simple_fullgrad", "occlusion")
+    best = 0.0
+    for _ in range(repeats):
+        engine = build_engine(classifier, make_executor_fn())
+        try:
+            start = time.perf_counter()
+            handles = [
+                engine.submit_async(images[i], int(labels[i]),
+                                    methods[i % len(methods)])
+                for i in range(len(images))
+            ]
+            engine.drain()
+            elapsed = time.perf_counter() - start
+            assert all(h.done for h in handles)
+            best = max(best, len(images) / elapsed)
+        finally:
+            engine.close()
+    return best
+
+
+def dedup_workload(classifier, images, labels, unique: int,
+                   repeats: int) -> dict:
+    """Duplicate-heavy traffic; verifies exactly-once compute.
+
+    Verification is direct: the explainer is wrapped with a counter of
+    images actually explained, so the check cannot be fooled by counter
+    bookkeeping (re-inserting an existing cache key, say) — exactly
+    ``unique`` maps must have been computed for ``unique * repeats``
+    requests.
+    """
+    from repro.explain.base import Explainer
+
+    inner = GradCAMExplainer(classifier)
+    computed = {"images": 0}
+
+    class CountingGradCAM(Explainer):
+        name = "gradcam"
+        needs_gradients = True
+
+        def explain_batch(self, imgs, labs, targets=None):
+            computed["images"] += len(imgs)
+            return inner.explain_batch(imgs, labs, targets)
+
+    engine = ExplainEngine(classifier, {"gradcam": CountingGradCAM()},
+                           max_batch=4, cache_size=512, cache_shards=4,
+                           executor="serial")
+    rng = np.random.default_rng(0)
+    order = rng.permutation(np.repeat(np.arange(unique), repeats))
+    for i in order:
+        engine.submit_async(images[i], int(labels[i]), "gradcam")
+    engine.drain()
+    stats = engine.stats()
+    total = unique * repeats
+    if computed["images"] != unique:
+        raise SystemExit(
+            f"dedup violated: {computed['images']} maps computed for "
+            f"{unique} unique requests")
+    if stats["cache_inserts"] != unique:
+        raise SystemExit(
+            f"dedup violated: {stats['cache_inserts']} cache inserts for "
+            f"{unique} unique requests")
+    if stats["requests_served"] != total:
+        raise SystemExit(
+            f"lost requests: served {stats['requests_served']} of {total}")
+    return {
+        "total_requests": total,
+        "unique_requests": unique,
+        "computed": stats["cache_inserts"],
+        "dedup_fanouts": stats["dedup_hits"],
+        "cache_hits": stats["cache_hits"],
+        "batches_run": stats["batches_run"],
+        "dedup_hit_rate": round(
+            (stats["dedup_hits"] + stats["cache_hits"]) / total, 4),
+    }
+
+
+def shard_balance(n_keys: int = 512, shards: int = 8) -> dict:
+    """Distinct-digest fill: how evenly crc32 routing spreads load.
+
+    Balance is measured on per-shard *insert* counters (the routing
+    decision), not post-eviction sizes — sizes are clamped by each
+    shard's capacity, which would make any imbalance invisible.
+    """
+    from repro.explain.base import SaliencyResult
+
+    cache = ShardedSaliencyCache(capacity=n_keys, shards=shards)
+    for i in range(n_keys):
+        cache.put((f"digest-{i:06d}", "m", 0, None),
+                  SaliencyResult(np.zeros((2, 2)), 0))
+    routed = [s.inserts for s in cache.shards]
+    return {
+        "keys": n_keys,
+        "shards": shards,
+        "routed_per_shard": routed,
+        "shard_sizes": cache.shard_sizes(),
+        "imbalance_max_over_mean": round(max(routed) / (n_keys / shards), 3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="entry name in the JSON (seed | current | ...)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--requests", type=int, default=48,
+                        help="mixed-workload request count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)))
+    args = parser.parse_args()
+
+    dataset = make_dataset("brain_tumor1", "train", image_size=IMAGE_SIZE,
+                           seed=0, counts={0: args.requests,
+                                           1: args.requests})
+    images = dataset.images[:args.requests]
+    labels = dataset.labels[:args.requests]
+    classifier = SmallResNet(dataset.num_classes, dataset.image_shape[0],
+                             width=WIDTH, seed=0)
+    classifier.eval()
+
+    serial_rps = throughput(classifier, images, labels, lambda: "serial",
+                            args.repeats)
+    threaded_rps = throughput(
+        classifier, images, labels,
+        lambda: ThreadedExecutor(workers=args.workers), args.repeats)
+    speedup = threaded_rps / serial_rps if serial_rps else float("inf")
+    print(f"mixed workload ({args.requests} reqs, 4 methods): "
+          f"serial {serial_rps:7.1f} req/s   threaded {threaded_rps:7.1f} "
+          f"req/s   ({speedup:.2f}x, {os.cpu_count()} cpu)")
+
+    dedup = dedup_workload(classifier, images, labels,
+                           unique=min(8, args.requests), repeats=4)
+    print(f"dedup workload: {dedup['total_requests']} requests -> "
+          f"{dedup['computed']} computed (exactly once per unique), "
+          f"{dedup['dedup_fanouts']} dedup fan-outs + "
+          f"{dedup['cache_hits']} cache hits "
+          f"({dedup['dedup_hit_rate']:.0%} duplicate traffic absorbed)")
+
+    balance = shard_balance()
+    print(f"shard balance (routed keys): {balance['routed_per_shard']} "
+          f"(max/mean {balance['imbalance_max_over_mean']:.2f})")
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    doc[args.label] = {
+        "serial_rps": round(serial_rps, 2),
+        "threaded_rps": round(threaded_rps, 2),
+        "threaded_speedup": round(speedup, 3),
+        "threaded_workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "requests": args.requests,
+        "dedup": dedup,
+        "shard_balance": balance,
+        "image_size": IMAGE_SIZE,
+        "classifier_width": WIDTH,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,12 +41,14 @@ def main() -> None:
     masks = test.masks[abnormal]
 
     print("\nscoring saliency maps (AOPC/PD + ground-truth localisation)")
+    # Both metric layers consume the serving runtime: the AOPC sweep
+    # populates the sharded saliency cache, so the localisation pass
+    # below re-requests the same (image, method) maps and is served
+    # almost entirely from cache — visible in the stats line at the end.
+    engine = ExplainEngine(classifier, suite.explainers, max_batch=8,
+                           cache_size=256, cache_shards=4)
     curves = evaluate_methods(suite.explainers, classifier, images, labels,
-                              n_patches=12, patch=3)
-
-    # Localisation goes through the serving engine: each method's maps
-    # are produced in one micro-batched sweep and land in the LRU cache.
-    engine = ExplainEngine(classifier, suite.explainers, max_batch=8)
+                              n_patches=12, patch=3, engine=engine)
 
     header = f"{'method':18s} {'AOPC':>6s} {'PD':>6s} {'IoU':>6s} {'point':>6s}"
     print("\n" + header)

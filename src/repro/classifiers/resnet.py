@@ -108,6 +108,13 @@ class SmallResNet(nn.Module):
     def predict_proba(self, images: np.ndarray,
                       batch_size: int = 64) -> np.ndarray:
         """Black-box inference API: images (N, C, H, W) -> probabilities."""
+        # Restore the caller's mode instead of unconditionally flipping
+        # to train(): a served (eval-mode) classifier stays eval, so
+        # concurrent predict calls from executor workers never race one
+        # thread's eval batches against another's train() restore (which
+        # would switch BatchNorm to batch stats mid-sweep and corrupt
+        # the shared running statistics).
+        was_training = self.training
         self.eval()
         outputs = []
         with nn.no_grad():
@@ -115,7 +122,8 @@ class SmallResNet(nn.Module):
                 batch = nn.Tensor(images[start:start + batch_size])
                 logits = self.forward(batch)
                 outputs.append(F.softmax(logits, axis=-1).data)
-        self.train()
+        if was_training:
+            self.train()
         return np.concatenate(outputs, axis=0)
 
     def predict(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:

@@ -15,8 +15,8 @@ from .reassignment import class_reassignment_rate
 from .separability import latent_separability
 from .smoothness import PathProbe, probe_path, smote_validity
 from .timing import (MethodTiming, batched_saliency_time_ms, method_timing,
-                     saliency_time_ms, time_all_methods,
-                     time_all_methods_batched)
+                     saliency_time_ms, served_saliency_time_ms,
+                     time_all_methods, time_all_methods_batched)
 from .traps import (PathTrace, decision_surface, false_positive_case,
                     gradient_descent_path, greedy_walk_path, guided_path,
                     trap_demo_2d)
@@ -26,7 +26,8 @@ __all__ = [
     "class_reassignment_rate", "latent_separability",
     "smote_validity", "probe_path", "PathProbe",
     "saliency_time_ms", "time_all_methods", "batched_saliency_time_ms",
-    "method_timing", "time_all_methods_batched", "MethodTiming",
+    "served_saliency_time_ms", "method_timing", "time_all_methods_batched",
+    "MethodTiming",
     "localization_scores", "pointing_game", "saliency_iou",
     "trap_demo_2d", "decision_surface", "PathTrace",
     "gradient_descent_path", "greedy_walk_path", "guided_path",

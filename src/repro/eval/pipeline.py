@@ -190,16 +190,28 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     def engine(self, include: Optional[tuple] = None, max_batch: int = 16,
                max_delay_ms: Optional[float] = None,
-               cache_size: int = 256):
+               cache_size: int = 256, cache_shards: int = 4,
+               executor=None):
         """The serving-layer :class:`~repro.serve.ExplainEngine` over this
         context's classifier + suite, so repeated sweeps hit the saliency
         cache and share micro-batched model calls.  The engine is cached
         per configuration: calling again with the same arguments returns
-        the same engine (warm cache); different arguments rebuild it.
+        the same engine (warm cache); different arguments rebuild it —
+        **invalidating** a previously returned engine whose executor the
+        context created ("serial"/"threaded" strings): its workers are
+        shut down so they don't leak.  An executor *instance* passed by
+        the caller stays the caller's to close.
+        ``executor`` picks the batch executor (``None``/"serial",
+        "threaded", or an instance); the cache defaults to 4 LRU shards.
         """
-        config = (include, max_batch, max_delay_ms, cache_size)
+        config = (include, max_batch, max_delay_ms, cache_size,
+                  cache_shards, executor)
         if self._engine is None or self._engine[0] != config:
             from ..serve import ExplainEngine
+            if self._engine is not None:
+                old_executor = self._engine[0][5]
+                if old_executor is None or isinstance(old_executor, str):
+                    self._engine[1].close()
             # suite() caches whatever method set it was first built with,
             # so filter here: the engine serves exactly `include` even
             # when the cached suite is broader, and fails loudly when the
@@ -216,7 +228,8 @@ class ExperimentContext:
             self._engine = (config, ExplainEngine(
                 self.classifier, explainers,
                 max_batch=max_batch, max_delay_ms=max_delay_ms,
-                cache_size=cache_size))
+                cache_size=cache_size, cache_shards=cache_shards,
+                executor=executor))
         return self._engine[1]
 
     # ------------------------------------------------------------------

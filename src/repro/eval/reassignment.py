@@ -26,20 +26,35 @@ def class_reassignment_rate(model: CAEModel, classifier: SmallResNet,
     Each trial draws two test images of different classes, decodes
     ``G(c_B, s_A)``, and counts success when the classifier predicts
     ``y_B``.  Works for :class:`CAEModel` and its ICAM subclass alike.
+
+    Pair drawing is fully vectorized (no per-pair python loop): the
+    class pairs are sampled in one shot, then one ``rng.choice`` per
+    *class* picks the member indices.  Swap decoding and classifier
+    scoring run in ``batch_size`` chunks to bound decoder activations.
     """
     rng = rng or np.random.default_rng(0)
     by_class = {int(c): dataset.indices_of_class(int(c))
                 for c in np.unique(dataset.labels)}
-    classes = sorted(by_class)
+    classes = np.array(sorted(by_class))
     if len(classes) < 2:
         raise ValueError("re-assignment needs at least two classes")
 
+    # Unordered-distinct class pairs, vectorized: draw the first class
+    # uniformly, then the second uniformly over the remaining ones.
+    first = rng.integers(len(classes), size=n_pairs)
+    second = rng.integers(len(classes) - 1, size=n_pairs)
+    second += second >= first
+    class_a, class_b = classes[first], classes[second]
+
     idx_a = np.empty(n_pairs, dtype=int)
     idx_b = np.empty(n_pairs, dtype=int)
-    for i in range(n_pairs):
-        class_a, class_b = rng.choice(classes, size=2, replace=False)
-        idx_a[i] = rng.choice(by_class[int(class_a)])
-        idx_b[i] = rng.choice(by_class[int(class_b)])
+    for c in classes:                     # one draw per class, not per pair
+        sel_a = class_a == c
+        if sel_a.any():
+            idx_a[sel_a] = rng.choice(by_class[int(c)], size=int(sel_a.sum()))
+        sel_b = class_b == c
+        if sel_b.any():
+            idx_b[sel_b] = rng.choice(by_class[int(c)], size=int(sel_b.sum()))
 
     successes = 0
     for start in range(0, n_pairs, batch_size):

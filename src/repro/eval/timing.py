@@ -20,10 +20,16 @@ from ..explain.base import Explainer
 
 @dataclass
 class MethodTiming:
-    """Per-method Table V row: single-image vs batched cost."""
+    """Per-method Table V row: single-image vs batched vs served cost.
+
+    ``served_ms`` is the cost per map through a serving
+    :class:`~repro.serve.ExplainEngine` (micro-batching + cache +
+    dedup); ``None`` when no engine was timed.
+    """
 
     per_image_ms: float
     batched_ms: float
+    served_ms: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -65,19 +71,43 @@ def batched_saliency_time_ms(explainer: Explainer, images: np.ndarray,
     return 1000.0 * elapsed / max(len(images), 1)
 
 
+def served_saliency_time_ms(engine, method: str, images: np.ndarray,
+                            labels: np.ndarray,
+                            n_images: Optional[int] = None) -> float:
+    """Average milliseconds per map through a serving
+    :class:`~repro.serve.ExplainEngine` (one cache-aware
+    ``explain_batch`` sweep).  On a warm cache this measures pure
+    serving overhead; on a cold cache, the micro-batched compute path.
+    """
+    if n_images is not None:
+        images = images[:n_images]
+        labels = labels[:n_images]
+    start = time.perf_counter()
+    engine.explain_batch(images, labels, method)
+    elapsed = time.perf_counter() - start
+    return 1000.0 * elapsed / max(len(images), 1)
+
+
 def method_timing(explainer: Explainer, images: np.ndarray,
                   labels: np.ndarray, n_images: Optional[int] = None,
-                  batch_size: int = 16) -> MethodTiming:
-    """Both Table V numbers for one method.
+                  batch_size: int = 16, engine=None,
+                  method: Optional[str] = None) -> MethodTiming:
+    """Both Table V numbers for one method (plus the served cost when
+    ``engine`` is given; ``method`` defaults to the explainer's name).
 
     One untimed warmup batch absorbs lazy-initialisation and cache-
     warming costs so they don't inflate whichever pass runs first.
     """
     explainer.explain_batch(images[:1], labels[:1])
+    served_ms = None
+    if engine is not None:
+        served_ms = served_saliency_time_ms(
+            engine, method or explainer.name, images, labels, n_images)
     return MethodTiming(
         per_image_ms=saliency_time_ms(explainer, images, labels, n_images),
         batched_ms=batched_saliency_time_ms(explainer, images, labels,
-                                            n_images, batch_size))
+                                            n_images, batch_size),
+        served_ms=served_ms)
 
 
 def time_all_methods(explainers: Dict[str, Explainer], images: np.ndarray,
@@ -91,9 +121,13 @@ def time_all_methods(explainers: Dict[str, Explainer], images: np.ndarray,
 def time_all_methods_batched(explainers: Dict[str, Explainer],
                              images: np.ndarray, labels: np.ndarray,
                              n_images: Optional[int] = None,
-                             batch_size: int = 16
-                             ) -> Dict[str, MethodTiming]:
-    """Extended Table V: method -> (per-image ms, batched ms, speedup)."""
+                             batch_size: int = 16,
+                             engine=None) -> Dict[str, MethodTiming]:
+    """Extended Table V: method -> (per-image ms, batched ms, speedup).
+
+    With ``engine`` set, each row also records the engine-served cost
+    per map (``MethodTiming.served_ms``).
+    """
     return {name: method_timing(explainer, images, labels, n_images,
-                                batch_size)
+                                batch_size, engine=engine, method=name)
             for name, explainer in explainers.items()}

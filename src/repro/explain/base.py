@@ -27,12 +27,18 @@ class SaliencyResult:
 
     ``saliency`` is an (H, W) non-negative importance map; higher values
     mean greater attribution toward the explained class decision.
+
+    ``image_digest`` carries the content digest of the explained image
+    when the result came through the serving runtime (which hashes each
+    request exactly once and threads the digest through submit, queue,
+    and cache insert); explainers called directly leave it ``None``.
     """
 
     saliency: np.ndarray
     label: int
     target_label: Optional[int] = None
     meta: Dict = field(default_factory=dict)
+    image_digest: Optional[str] = None
 
     def normalized(self) -> np.ndarray:
         """Saliency rescaled to [0, 1]; monotone and ranking-preserving

@@ -8,6 +8,7 @@ reference implementation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -26,8 +27,20 @@ class frozen:
     whole white-box family) wrap their backward passes in this so the
     tape skips every weight-gradient GEMM — a large share of conv
     backward cost — while per-sample input/feature gradients are
-    untouched.  Restores each parameter's previous flag on exit.
+    untouched.
+
+    Freezing is **reference-counted** per parameter (under a lock):
+    overlapping ``frozen`` scopes — nested on one thread, or concurrent
+    explainer batches sharing one classifier on executor worker threads
+    — keep the flag down until the last scope exits, and the original
+    flag is restored exactly once.  ``requires_grad`` flags on *shared*
+    models would otherwise race: one scope's exit could re-enable weight
+    gradients mid-backward for another, or leave them permanently off.
     """
+
+    _lock = threading.Lock()
+    #: id(param) -> [active scope count, original flag, param ref]
+    _active: Dict[int, list] = {}
 
     def __init__(self, *modules: "Module"):
         self.params = []
@@ -39,14 +52,25 @@ class frozen:
                     self.params.append(p)
 
     def __enter__(self) -> "frozen":
-        self.prev = [p.requires_grad for p in self.params]
-        for p in self.params:
-            p.requires_grad = False
+        with frozen._lock:
+            for p in self.params:
+                entry = frozen._active.get(id(p))
+                if entry is None:
+                    # Keep a reference so id() stays valid for the entry.
+                    frozen._active[id(p)] = [1, p.requires_grad, p]
+                    p.requires_grad = False
+                else:
+                    entry[0] += 1
         return self
 
     def __exit__(self, *exc) -> bool:
-        for p, flag in zip(self.params, self.prev):
-            p.requires_grad = flag
+        with frozen._lock:
+            for p in self.params:
+                entry = frozen._active[id(p)]
+                entry[0] -= 1
+                if entry[0] == 0:
+                    p.requires_grad = entry[1]
+                    del frozen._active[id(p)]
         return False
 
 

@@ -18,7 +18,10 @@ Design notes
 * Inference mode: inside :class:`no_grad` (or after
   ``set_grad_enabled(False)``) :meth:`Tensor._make` skips parent tracking
   and backward-closure retention entirely, so gradient-free sweeps pay
-  neither tape memory nor graph bookkeeping.
+  neither tape memory nor graph bookkeeping.  The switch is
+  **thread-local** (default: recording on), so the serving runtime can
+  run gradient-free and white-box micro-batches on concurrent worker
+  threads without leaking inference mode across tapes.
 * Dtype regime: new tensors built from scalars/lists and fresh parameters
   default to float32 (``set_default_dtype`` switches to float64 for
   gradient checking); existing float arrays are never silently recast.
@@ -27,6 +30,7 @@ Design notes
 from __future__ import annotations
 
 import functools
+import threading
 
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
@@ -36,7 +40,18 @@ ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
 _DEFAULT_DTYPE = np.dtype(np.float32)
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread tape switch; the class attribute is the default every
+    new thread starts from (recording on).  Thread-locality matters for
+    the serving runtime: a worker running a gradient-free method under
+    ``no_grad`` must not strip the tape from a concurrent worker's
+    white-box backward pass."""
+
+    enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 
 def set_default_dtype(dtype) -> None:
@@ -51,45 +66,43 @@ def get_default_dtype():
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations are being recorded on the tape."""
-    return _GRAD_ENABLED
+    """Return whether this thread records new operations on the tape."""
+    return _GRAD_STATE.enabled
 
 
 class set_grad_enabled:
     """Enable/disable tape recording; usable as a call or context manager.
 
-    ``set_grad_enabled(False)`` flips the global switch immediately; used
-    as a context manager it restores the previous state on exit.
+    ``set_grad_enabled(False)`` flips the calling thread's switch
+    immediately; used as a context manager it restores the previous
+    state on exit.
     """
 
     def __init__(self, mode: bool):
-        global _GRAD_ENABLED
-        self.prev = _GRAD_ENABLED
-        _GRAD_ENABLED = bool(mode)
+        self.prev = _GRAD_STATE.enabled
+        _GRAD_STATE.enabled = bool(mode)
 
     def __enter__(self) -> "set_grad_enabled":
         return self
 
     def __exit__(self, *exc) -> bool:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self.prev
+        _GRAD_STATE.enabled = self.prev
         return False
 
 
 class _GradSwitch:
-    """Context manager / decorator forcing tape recording on or off."""
+    """Context manager / decorator forcing tape recording on or off
+    (for the calling thread only)."""
 
     _mode: bool = True
 
     def __enter__(self) -> "_GradSwitch":
-        global _GRAD_ENABLED
-        self.prev = _GRAD_ENABLED
-        _GRAD_ENABLED = self._mode
+        self.prev = _GRAD_STATE.enabled
+        _GRAD_STATE.enabled = self._mode
         return self
 
     def __exit__(self, *exc) -> bool:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self.prev
+        _GRAD_STATE.enabled = self.prev
         return False
 
     def __call__(self, fn: Callable) -> Callable:
@@ -220,7 +233,7 @@ class Tensor:
         (including any arrays the closure captured) is released as soon
         as the caller drops its references.
         """
-        if not _GRAD_ENABLED:
+        if not _GRAD_STATE.enabled:
             return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)

@@ -1,19 +1,55 @@
-"""``repro.serve`` — the saliency serving layer.
+"""``repro.serve`` — the sharded, deduplicating saliency-serving runtime.
 
-Builds on the batched-first explainer contract (every method's
-``explain_batch`` runs its forward/backward over the whole batch in
-shared conv/GEMM calls) and the ``nn.no_grad()`` inference mode to serve
-explanation requests at throughput: the :class:`ExplainEngine`
-micro-batches incoming ``(image, label, method)`` requests up to a
-configurable batch size/deadline, runs gradient-free methods under
-``no_grad``, and fronts everything with an LRU saliency cache keyed on
-``(image_digest, method, label, target)``.
+The package splits the serving layer into four pieces:
+
+* :mod:`~repro.serve.cache` — :class:`ShardedSaliencyCache`: N
+  independent thread-safe LRU shards keyed on a stable hash of the
+  image digest; per-shard stats aggregate in ``stats()``.
+* :mod:`~repro.serve.scheduler` — :class:`MicroBatchScheduler`: pending
+  requests queue per ``(method, image_shape)`` (one engine serves
+  heterogeneous datasets) and identical ``(digest, method, label,
+  target)`` requests dedup onto one computation whose result fans out
+  to every attached handle.
+* :mod:`~repro.serve.executor` — :class:`SerialExecutor` (inline,
+  deterministic) and :class:`ThreadedExecutor` (persistent worker
+  threads; the BLAS GEMMs inside ``explain_batch`` release the GIL, so
+  independent micro-batches overlap on multi-core hosts).
+* :mod:`~repro.serve.engine` — the :class:`ExplainEngine` façade tying
+  them together behind ``submit`` / ``submit_async`` / ``flush`` /
+  ``drain`` / ``explain`` / ``explain_batch``.
+
+Quickstart
+----------
+::
+
+    from repro.serve import ExplainEngine
+
+    engine = ExplainEngine(classifier, suite.explainers,
+                           max_batch=16, cache_size=512, cache_shards=4,
+                           executor="threaded")
+    handles = [engine.submit_async(img, int(lab), "gradcam")
+               for img, lab in zip(images, labels)]   # non-blocking
+    engine.drain()                                    # resolve everything
+    maps = [h.result().saliency for h in handles]
+    print(engine.stats())   # hits/misses/evictions per shard, batches,
+                            # dedup fan-outs, in-flight batches
+    engine.close()
+
+Methods with ``needs_gradients = False`` run under the (thread-local)
+``nn.no_grad()``; every image is digested exactly once per request and
+the digest is stamped on the result's ``image_digest`` field.
 """
 
-from .engine import (ExplainEngine, PendingExplain, SaliencyCache,
-                     image_digest, request_key)
+from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
+                    image_digest, request_key)
+from .engine import ExplainEngine, PendingExplain
+from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 
 __all__ = [
-    "ExplainEngine", "PendingExplain", "SaliencyCache",
+    "ExplainEngine", "PendingExplain",
+    "SaliencyCache", "ShardedSaliencyCache", "CacheKey",
     "image_digest", "request_key",
+    "MicroBatchScheduler", "ExplainRequest", "QueueKey",
+    "SerialExecutor", "ThreadedExecutor", "make_executor",
 ]

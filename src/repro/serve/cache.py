@@ -1,0 +1,190 @@
+"""Saliency result caching: digest keys, LRU shards, sharded front.
+
+The cache key is ``(image_digest, method, label, target)``.  The digest
+is computed **once per request** at submit time and threaded through the
+whole runtime (queued request, cache insert, and the resulting
+:class:`~repro.explain.base.SaliencyResult.image_digest` field) — the
+image bytes are never re-hashed.
+
+:class:`SaliencyCache` is one thread-safe LRU shard.
+:class:`ShardedSaliencyCache` fronts N independent shards keyed on a
+stable hash of the digest, so concurrent executor workers contend on
+1/N of the lock traffic and eviction pressure spreads across shards.
+With ``shards=1`` it degenerates to a single global LRU (the engine's
+default, which keeps exact LRU eviction semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..explain.base import SaliencyResult
+
+CacheKey = Tuple[str, str, int, Optional[int]]
+
+
+def image_digest(image: np.ndarray) -> str:
+    """Content digest of one image (shape/dtype-aware, layout-stable)."""
+    image = np.ascontiguousarray(image)
+    h = hashlib.sha1()
+    h.update(str(image.shape).encode())
+    h.update(str(image.dtype).encode())
+    h.update(image.tobytes())
+    return h.hexdigest()
+
+
+def request_key(image: np.ndarray, method: str, label: int,
+                target_label: Optional[int],
+                digest: Optional[str] = None) -> CacheKey:
+    """Cache key for one explain request.
+
+    Pass ``digest`` when the image was already hashed (the engine hashes
+    each submitted image exactly once and threads the digest through).
+    """
+    if digest is None:
+        digest = image_digest(image)
+    target = None if target_label is None else int(target_label)
+    return (digest, method, int(label), target)
+
+
+class SaliencyCache:
+    """One thread-safe bounded-LRU shard: :data:`CacheKey` -> result."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._store: "OrderedDict[CacheKey, SaliencyResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._store
+
+    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
+        with self._lock:
+            result = self._store.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
+        """Read without touching hit/miss counters or LRU recency (for
+        internal double-checks that must not skew serving stats)."""
+        with self._lock:
+            return self._store.get(key)
+
+    def put(self, key: CacheKey, result: SaliencyResult) -> None:
+        # Hits hand out the cached object itself (no per-hit copy), so
+        # freeze the map: an in-place mutation by a consumer raises
+        # instead of silently corrupting every future hit.
+        saliency = getattr(result, "saliency", None)
+        if isinstance(saliency, np.ndarray):
+            saliency.setflags(write=False)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            else:
+                self.inserts += 1
+            self._store[key] = result
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "inserts": self.inserts,
+                "size": len(self._store), "capacity": self.capacity}
+
+
+class ShardedSaliencyCache:
+    """N independent LRU shards selected by a stable digest hash.
+
+    The per-request lock is per shard, so concurrent executor workers
+    inserting results rarely contend; the same key always lands on the
+    same shard, so hit/miss behaviour for any one request is unchanged.
+    ``capacity`` is split as evenly as possible across shards (every
+    shard holds at least one entry); ``shards`` is clamped so this
+    always works.  Aggregate counters are summed over shards in
+    :meth:`stats`.
+    """
+
+    def __init__(self, capacity: int = 256, shards: int = 1):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        shards = min(shards, capacity)
+        base, extra = divmod(capacity, shards)
+        self.capacity = capacity
+        self.shards: List[SaliencyCache] = [
+            SaliencyCache(base + (1 if i < extra else 0))
+            for i in range(shards)
+        ]
+
+    # -- shard routing -------------------------------------------------
+    def _shard(self, key: CacheKey) -> SaliencyCache:
+        # crc32 of the digest: stable across processes (unlike hash())
+        # so benchmarked shard balance is reproducible.
+        return self.shards[zlib.crc32(key[0].encode()) % len(self.shards)]
+
+    # -- mapping interface ---------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._shard(key)
+
+    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
+        return self._shard(key).get(key)
+
+    def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
+        return self._shard(key).peek(key)
+
+    def put(self, key: CacheKey, result: SaliencyResult) -> None:
+        self._shard(key).put(key, result)
+
+    # -- aggregated counters -------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self.shards)
+
+    @property
+    def inserts(self) -> int:
+        return sum(s.inserts for s in self.shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(s) for s in self.shards]
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate counters plus the per-shard breakdown."""
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "inserts": self.inserts,
+            "size": len(self), "capacity": self.capacity,
+            "shards": len(self.shards),
+            "shard_sizes": self.shard_sizes(),
+        }

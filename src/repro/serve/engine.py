@@ -1,135 +1,96 @@
-"""The ``ExplainEngine``: a caching, micro-batching saliency server.
+"""The ``ExplainEngine`` façade over the serve runtime.
 
-The engine owns the trained black-box classifier plus the explainer
-suite and fronts them with the serving contract the ROADMAP's
-heavy-traffic north star needs:
+The engine composes the three runtime pieces — a
+:class:`~repro.serve.cache.ShardedSaliencyCache`, a deduplicating
+:class:`~repro.serve.scheduler.MicroBatchScheduler`, and a pluggable
+batch executor — behind the serving API the rest of the repo consumes:
 
-* **Micro-batching** — incoming ``(image, label, method)`` requests are
-  queued per method and executed through the method's batched-first
-  :meth:`~repro.explain.Explainer.explain_batch` once ``max_batch``
-  requests are pending (or the oldest pending request is older than
-  ``max_delay_ms``, or the caller forces a :meth:`flush`).  One queued
-  batch costs one shared conv/GEMM sweep instead of N independent ones.
-* **Inference mode** — methods that declare
-  ``needs_gradients = False`` run their batch inside ``nn.no_grad()``;
-  white-box methods (Grad-CAM, FullGrad family, StyLEx) keep the tape.
-* **Saliency cache** — a bounded LRU keyed on
-  ``(image_digest, method, label, target)``; repeat requests for the
-  same image/method pair are served without touching the models.
+* ``submit`` / ``flush`` / ``explain`` / ``explain_batch`` — the
+  synchronous contract (unchanged from the pre-runtime engine): submits
+  auto-flush on ``max_batch`` unique pending requests or on the
+  ``max_delay_ms`` deadline, and a failing micro-batch propagates its
+  exception with the requests left queued for a retry.
+* ``submit_async`` / ``drain`` — the non-blocking path: full micro-
+  batches are dispatched to the executor without waiting, and
+  ``drain()`` resolves everything in flight plus everything queued.
+* Each image is digested **once** per request; the digest rides the
+  request through the queue, keys the cache insert, and lands on the
+  result's ``image_digest`` field.
+* Methods with ``needs_gradients = False`` execute under
+  ``nn.no_grad()`` (a thread-local switch, so concurrent workers never
+  leak inference mode into each other's tapes).
 """
 
 from __future__ import annotations
 
-import hashlib
-import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
+import threading
+from concurrent.futures import Future
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import nn
 from ..explain.base import Explainer, SaliencyResult
+from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
+                    image_digest, request_key)
+from .executor import make_executor
+from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 
-CacheKey = Tuple[str, str, int, Optional[int]]
-
-
-def image_digest(image: np.ndarray) -> str:
-    """Content digest of one image (shape/dtype-aware, layout-stable)."""
-    image = np.ascontiguousarray(image)
-    h = hashlib.sha1()
-    h.update(str(image.shape).encode())
-    h.update(str(image.dtype).encode())
-    h.update(image.tobytes())
-    return h.hexdigest()
+__all__ = ["ExplainEngine", "PendingExplain", "SaliencyCache",
+           "image_digest", "request_key"]
 
 
-def request_key(image: np.ndarray, method: str, label: int,
-                target_label: Optional[int]) -> CacheKey:
-    """Cache key for one explain request."""
-    target = None if target_label is None else int(target_label)
-    return (image_digest(image), method, int(label), target)
-
-
-class SaliencyCache:
-    """Bounded LRU mapping :data:`CacheKey` -> :class:`SaliencyResult`."""
-
-    def __init__(self, capacity: int = 256):
-        if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
-        self.capacity = capacity
-        self._store: "OrderedDict[CacheKey, SaliencyResult]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-    def __contains__(self, key: CacheKey) -> bool:
-        return key in self._store
-
-    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
-        result = self._store.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return result
-
-    def put(self, key: CacheKey, result: SaliencyResult) -> None:
-        # Hits hand out the cached object itself (no per-hit copy), so
-        # freeze the map: an in-place mutation by a consumer raises
-        # instead of silently corrupting every future hit.
-        saliency = getattr(result, "saliency", None)
-        if isinstance(saliency, np.ndarray):
-            saliency.setflags(write=False)
-        if key in self._store:
-            self._store.move_to_end(key)
-        self._store[key] = result
-        while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
-            self.evictions += 1
-
-
-@dataclass
 class PendingExplain:
-    """Handle for a queued request; resolves when its batch runs."""
+    """Handle for one submitted request; resolves when its batch runs.
 
-    engine: "ExplainEngine"
-    method: str
-    cache_hit: bool = False
-    _result: Optional[SaliencyResult] = None
+    Deduplicated submits share one underlying :class:`ExplainRequest`
+    (and therefore one computation) but each hold their own handle.
+    """
+
+    __slots__ = ("engine", "method", "cache_hit", "_result", "_request")
+
+    def __init__(self, engine: "ExplainEngine", method: str,
+                 cache_hit: bool = False,
+                 _result: Optional[SaliencyResult] = None,
+                 _request: Optional[ExplainRequest] = None):
+        self.engine = engine
+        self.method = method
+        self.cache_hit = cache_hit
+        self._result = _result
+        self._request = _request
 
     @property
     def done(self) -> bool:
         return self._result is not None
 
     def result(self) -> SaliencyResult:
-        """The saliency result, flushing the owning queue if needed.
+        """The saliency result, waiting on / flushing the runtime.
 
-        A failing micro-batch propagates its exception from the flush
-        (the request stays queued for a retry); a request that somehow
-        remains unresolved raises instead of returning None.
+        An async-dispatched batch is awaited through its future; a
+        still-queued request forces a flush of the owning method.  A
+        failing micro-batch propagates its exception (the requests stay
+        queued for a retry); a request that somehow remains unresolved
+        raises instead of returning None.
         """
-        if self._result is None:
+        while self._result is None:
+            request = self._request
+            future = request.future if request is not None else None
+            if future is not None:
+                future.result()        # waits; re-raises a batch failure
+                continue               # _result set before future cleared
             self.engine.flush(self.method)
-        if self._result is None:
+            if self._result is not None:
+                break
+            # Empty flush but still unresolved: another thread's flush
+            # holds the request in an in-flight batch (its future was
+            # assigned atomically with the queue pop) — loop and wait
+            # on it rather than raising spuriously.
+            if request is not None and request.future is not None:
+                continue
             raise RuntimeError(
                 f"{self.method!r} explain request did not resolve after "
                 "flush")
         return self._result
-
-
-@dataclass(eq=False)          # identity semantics (fields hold ndarrays)
-class _QueuedRequest:
-    image: np.ndarray
-    label: int
-    target_label: Optional[int]
-    key: CacheKey
-    handle: PendingExplain
-    enqueued_at: float = field(default_factory=time.monotonic)
 
 
 class ExplainEngine:
@@ -143,27 +104,41 @@ class ExplainEngine:
         ``name -> Explainer`` mapping (an
         :class:`~repro.explain.ExplainerSuite`'s ``explainers`` dict).
     max_batch:
-        Micro-batch size: a method's queue auto-flushes when this many
-        requests are pending.
+        Micro-batch size: a ``(method, shape)`` queue auto-flushes when
+        this many *unique* requests are pending.
     max_delay_ms:
-        Deadline: a submit auto-flushes a method whose oldest queued
+        Deadline: a submit auto-flushes a queue whose oldest pending
         request has waited at least this long.  ``None`` disables the
         deadline (flush on size or demand only).
     cache_size:
-        LRU saliency-cache capacity (entries).
+        Total saliency-cache capacity (entries, across all shards).
+    cache_shards:
+        LRU shard count.  1 (default) keeps exact global-LRU eviction
+        semantics; serving deployments with a threaded executor should
+        shard (4-8) to spread lock traffic and eviction pressure.
+    executor:
+        ``None``/``"serial"`` (inline, deterministic), ``"threaded"``
+        (persistent worker threads), or an executor instance.
     """
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
                  max_batch: int = 16, max_delay_ms: Optional[float] = None,
-                 cache_size: int = 256):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
+                 cache_size: int = 256, cache_shards: int = 1,
+                 executor=None):
         self.classifier = classifier
         self.explainers = dict(explainers)
-        self.max_batch = max_batch
-        self.max_delay_ms = max_delay_ms
-        self.cache = SaliencyCache(cache_size)
-        self._queues: Dict[str, List[_QueuedRequest]] = {}
+        self.cache = ShardedSaliencyCache(cache_size, shards=cache_shards)
+        self._scheduler = MicroBatchScheduler(max_batch, max_delay_ms)
+        self._executor = make_executor(executor)
+        self._lock = threading.RLock()
+        self._inflight: List[Future] = []
+        #: Resolve counts banked from pruned (already-done) async
+        #: futures, paid out by the next drain().
+        self._async_resolved = 0
+        # Batches of one method never overlap: explainer objects are not
+        # audited for internal thread safety, so concurrency comes from
+        # running *different* methods (or shape-queues) in parallel.
+        self._method_locks = {name: threading.Lock() for name in explainers}
         self.batches_run = 0
         self.requests_served = 0
 
@@ -172,22 +147,54 @@ class ExplainEngine:
     def methods(self) -> Tuple[str, ...]:
         return tuple(self.explainers)
 
-    def stats(self) -> Dict[str, int]:
-        """Serving counters (cache + batching) for dashboards/tests."""
-        return {
-            "cache_hits": self.cache.hits,
-            "cache_misses": self.cache.misses,
-            "cache_evictions": self.cache.evictions,
-            "cache_size": len(self.cache),
-            "batches_run": self.batches_run,
-            "requests_served": self.requests_served,
-            "pending": sum(len(q) for q in self._queues.values()),
-        }
+    @property
+    def max_batch(self) -> int:
+        return self._scheduler.max_batch
+
+    @property
+    def max_delay_ms(self) -> Optional[float]:
+        return self._scheduler.max_delay_ms
+
+    @property
+    def executor(self):
+        return self._executor
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters (cache, batching, dedup) for dashboards."""
+        cache = self.cache.stats()
+        with self._lock:
+            inflight = sum(1 for f in self._inflight if not f.done())
+            return {
+                "cache_hits": cache["hits"],
+                "cache_misses": cache["misses"],
+                "cache_evictions": cache["evictions"],
+                "cache_inserts": cache["inserts"],
+                "cache_size": cache["size"],
+                "cache_shards": cache["shards"],
+                "shard_sizes": cache["shard_sizes"],
+                "batches_run": self.batches_run,
+                "requests_served": self.requests_served,
+                "pending": self._scheduler.pending_count(),
+                "pending_handles": self._scheduler.pending_handles(),
+                "dedup_hits": self._scheduler.dedup_hits,
+                "inflight": inflight,
+                "executor": self._executor.name,
+            }
 
     def pending_count(self, method: Optional[str] = None) -> int:
-        if method is not None:
-            return len(self._queues.get(method, ()))
-        return sum(len(q) for q in self._queues.values())
+        with self._lock:
+            return self._scheduler.pending_count(method)
+
+    def close(self) -> None:
+        """Shut down the executor's workers (idempotent)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ExplainEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     def _explainer(self, method: str) -> Explainer:
@@ -197,9 +204,11 @@ class ExplainEngine:
             raise KeyError(
                 f"unknown method {method!r}; engine serves {self.methods}")
 
-    def _run_batch(self, method: str,
-                   requests: List[_QueuedRequest]) -> None:
-        """Execute one micro-batch through the method's batched path."""
+    def _run_batch(self, queue_key: QueueKey,
+                   requests: List[ExplainRequest]) -> int:
+        """Execute one micro-batch; returns the number of handles
+        resolved (>= ``len(requests)`` when dedup fanned out)."""
+        method = queue_key[0]
         explainer = self._explainer(method)
         images = np.stack([r.image for r in requests])
         labels = np.array([r.label for r in requests], dtype=np.int64)
@@ -209,79 +218,242 @@ class ExplainEngine:
                  for r in requests], dtype=np.int64)
         else:
             targets = None
-        if explainer.needs_gradients:
-            results = explainer.explain_batch(images, labels, targets)
-        else:
-            with nn.no_grad():
+        with self._method_locks[method]:
+            if explainer.needs_gradients:
                 results = explainer.explain_batch(images, labels, targets)
-        self.batches_run += 1
-        for request, result in zip(requests, results):
-            self.cache.put(request.key, result)
-            request.handle._result = result
-            self.requests_served += 1
+            else:
+                with nn.no_grad():
+                    results = explainer.explain_batch(images, labels,
+                                                      targets)
+        served = 0
+        with self._lock:
+            self.batches_run += 1
+            for request, result in zip(requests, results):
+                result.image_digest = request.key[0]
+                self.cache.put(request.key, result)
+                for handle in request.handles:
+                    handle._result = result
+                served += len(request.handles)
+            self.requests_served += served
+            # Same critical section as handle resolution: a duplicate
+            # submit either attached in time (resolved above) or finds
+            # the key gone from the in-flight map and hits the cache.
+            self._scheduler.mark_complete(requests)
+        return served
 
-    def flush(self, method: Optional[str] = None) -> int:
-        """Run all pending micro-batches (for one method or all).
+    def _pop_and_prepare(self, method: Optional[str],
+                         ready_only: bool, track: bool
+                         ) -> List[Tuple[Future, QueueKey,
+                                         List[ExplainRequest]]]:
+        """Atomically pop batches and assign their futures.
 
-        Returns the number of requests resolved.
+        Popping a request out of the queue and giving it a waitable
+        future happen under one lock hold, so a concurrent
+        ``result()`` always observes the request either queued (a flush
+        resolves it), carrying a future (waitable), or resolved — never
+        in a popped-but-futureless limbo that would raise spuriously.
         """
-        methods = [method] if method is not None else list(self._queues)
-        resolved = 0
-        for name in methods:
-            queue = self._queues.get(name)
-            while queue:
-                batch = queue[:self.max_batch]
-                # Dequeue only after success: a raising explain_batch
-                # propagates to the caller with the requests still
-                # queued, so their handles stay resolvable by a retry.
-                self._run_batch(name, batch)
-                del queue[:len(batch)]
-                resolved += len(batch)
-        return resolved
+        with self._lock:
+            batches = (self._scheduler.pop_ready(method) if ready_only
+                       else self._scheduler.pop_batches(method))
+            prepared = []
+            if track and batches:
+                # Prune settled futures so a long-lived engine whose
+                # callers resolve via handle.result() (never drain())
+                # doesn't accumulate done futures without bound.  Their
+                # resolve counts are banked for drain()'s return value;
+                # failed futures are kept so drain() still re-raises.
+                kept = []
+                for f in self._inflight:
+                    if f.done() and f.exception() is None:
+                        self._async_resolved += f.result()
+                    else:
+                        kept.append(f)
+                self._inflight = kept
+            for queue_key, requests in batches:
+                future: Future = Future()
+                for request in requests:
+                    request.future = future
+                if track:
+                    self._inflight.append(future)
+                prepared.append((future, queue_key, requests))
+            return prepared
+
+    def _launch(self, future: Future, queue_key: QueueKey,
+                requests: List[ExplainRequest]) -> None:
+        """Hand one prepared batch to the executor.
+
+        The batch's future was assigned at pop time (so ``result()`` on
+        another thread can wait on it) and is cleared on completion; a
+        failing batch requeues its requests at the queue front before
+        the future carries the exception, preserving the flush-retry
+        contract across executors.
+        """
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                served = self._run_batch(queue_key, requests)
+            except BaseException as exc:   # noqa: BLE001
+                with self._lock:
+                    for request in requests:
+                        request.future = None
+                    self._scheduler.requeue_front(queue_key, requests)
+                future.set_exception(exc)
+            else:
+                with self._lock:
+                    for request in requests:
+                        request.future = None
+                future.set_result(served)
+
+        self._executor.submit(run)
 
     # ------------------------------------------------------------------
+    def flush(self, method: Optional[str] = None) -> int:
+        """Run all pending micro-batches (for one method or all),
+        blocking until they resolve.  Returns the number of handles
+        resolved.  The first batch failure is re-raised after the
+        round completes; its requests are requeued for a retry.
+        """
+        resolved = 0
+        while True:
+            prepared = self._pop_and_prepare(method, ready_only=False,
+                                             track=False)
+            if not prepared:
+                return resolved
+            resolved += self._run_prepared(prepared)
+
+    def _flush_ready(self, method: str) -> int:
+        """Synchronously run only the queues of ``method`` that hit
+        ``max_batch`` or the deadline (the submit auto-flush path)."""
+        prepared = self._pop_and_prepare(method, ready_only=True,
+                                         track=False)
+        return self._run_prepared(prepared)
+
+    def _run_prepared(self, prepared) -> int:
+        """Launch prepared batches and block until all resolve; the
+        first failure is re-raised after the round completes."""
+        for future, queue_key, requests in prepared:
+            self._launch(future, queue_key, requests)
+        resolved = 0
+        error: Optional[BaseException] = None
+        for future, _queue_key, _requests in prepared:
+            try:
+                resolved += future.result()
+            except BaseException as exc:   # noqa: BLE001
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return resolved
+
+    def drain(self) -> int:
+        """Resolve everything: await in-flight async batches, then flush
+        all queues.  Returns the number of handles resolved.  A batch
+        failure is re-raised (its requests stay queued for a retry);
+        call ``drain()`` again to retry.
+        """
+        resolved = 0
+        while True:
+            with self._lock:
+                futures, self._inflight = self._inflight, []
+                resolved += self._async_resolved
+                self._async_resolved = 0
+            for i, future in enumerate(futures):
+                try:
+                    resolved += future.result()
+                except BaseException:
+                    with self._lock:
+                        self._inflight.extend(futures[i + 1:])
+                    raise
+            resolved += self.flush()
+            with self._lock:
+                idle = (not self._inflight
+                        and self._scheduler.pending_count() == 0)
+            if idle:
+                return resolved
+
+    # ------------------------------------------------------------------
+    def _submit(self, image: np.ndarray, label: int, method: str,
+                target_label: Optional[int],
+                dispatch_async: bool) -> PendingExplain:
+        self._explainer(method)
+        image = np.asarray(image)
+        # Digest once per request: the same digest keys the cache probe,
+        # rides the queued request, keys the insert, and is stamped on
+        # the result — the image bytes are never re-hashed.
+        digest = image_digest(image)
+        key = request_key(image, method, label, target_label, digest=digest)
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._lock:
+                self.requests_served += 1
+            return PendingExplain(self, method, cache_hit=True,
+                                  _result=cached)
+
+        # The scheduler copies the image only when it creates a new
+        # request, so cache hits and deduped submits stay
+        # allocation-free; a caller reusing its buffer never changes
+        # what a queued request (or the cache) sees.
+        handle = PendingExplain(self, method)
+        with self._lock:
+            # Re-probe under the lock: the request's twin may have
+            # completed (cache insert + in-flight retirement share this
+            # lock) between the unlocked probe above and here.  peek()
+            # keeps the double-check out of the hit/miss counters.
+            cached = self.cache.peek(key)
+            if cached is not None:
+                self.requests_served += 1
+                return PendingExplain(self, method, cache_hit=True,
+                                      _result=cached)
+            request, _deduped, ready = self._scheduler.enqueue(
+                method, image, int(label), target_label, key, handle)
+            handle._request = request
+        if ready:
+            if dispatch_async:
+                prepared = self._pop_and_prepare(method, ready_only=True,
+                                                 track=True)
+                for future, queue_key, requests in prepared:
+                    self._launch(future, queue_key, requests)
+            else:
+                try:
+                    # Only the queue(s) that hit max_batch/deadline run;
+                    # partial queues of other shapes keep accumulating.
+                    self._flush_ready(method)
+                except Exception:
+                    # The exception propagates before the caller ever
+                    # holds the handle — drop the unresolved request
+                    # (unless dedup attached other handles to it) so a
+                    # retried submit doesn't enqueue a duplicate nobody
+                    # can resolve.
+                    with self._lock:
+                        if (handle._result is None
+                                and len(request.handles) == 1):
+                            self._scheduler.discard(request)
+                    raise
+        return handle
+
     def submit(self, image: np.ndarray, label: int, method: str,
                target_label: Optional[int] = None) -> PendingExplain:
         """Queue one request; returns a handle resolving at flush time.
 
-        Cache hits resolve immediately.  The owning queue auto-flushes
-        when ``max_batch`` requests are pending or the oldest queued
-        request is older than ``max_delay_ms``.
+        Cache hits resolve immediately; duplicates of an already-queued
+        request attach to it (one computation, fanned-out result).  The
+        owning queue auto-flushes **synchronously** when ``max_batch``
+        unique requests are pending or the deadline passed.
         """
-        self._explainer(method)
-        image = np.asarray(image)
-        key = request_key(image, method, label, target_label)
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.requests_served += 1
-            return PendingExplain(self, method, cache_hit=True,
-                                  _result=cached)
+        return self._submit(image, label, method, target_label,
+                            dispatch_async=False)
 
-        # Own a copy: the request may sit queued until a later flush, and
-        # the cache key was digested just now — a caller reusing its
-        # buffer must not change what this request (or the cache) sees.
-        # Cache hits above stay allocation-free.
-        image = np.array(image, copy=True)
-        handle = PendingExplain(self, method)
-        queue = self._queues.setdefault(method, [])
-        request = _QueuedRequest(image, int(label), target_label, key,
-                                 handle)
-        queue.append(request)
-        deadline_hit = (
-            self.max_delay_ms is not None
-            and (time.monotonic() - queue[0].enqueued_at) * 1000.0
-            >= self.max_delay_ms)
-        if len(queue) >= self.max_batch or deadline_hit:
-            try:
-                self.flush(method)
-            except Exception:
-                # The exception propagates before the caller ever holds
-                # the handle — drop the unresolved request so a retried
-                # submit doesn't enqueue a duplicate nobody can resolve.
-                if handle._result is None and request in queue:
-                    queue.remove(request)
-                raise
-        return handle
+    def submit_async(self, image: np.ndarray, label: int, method: str,
+                     target_label: Optional[int] = None) -> PendingExplain:
+        """Non-blocking submit: a full queue is handed to the executor
+        without waiting for it to run.  Resolve via ``handle.result()``
+        (waits on the in-flight batch) or a final :meth:`drain`.
+        """
+        return self._submit(image, label, method, target_label,
+                            dispatch_async=True)
 
     def explain(self, image: np.ndarray, label: int, method: str,
                 target_label: Optional[int] = None) -> SaliencyResult:
@@ -292,7 +464,9 @@ class ExplainEngine:
                       method: str,
                       target_labels: Optional[np.ndarray] = None
                       ) -> List[SaliencyResult]:
-        """Cache-aware batched path: only cache misses hit the models."""
+        """Cache-aware batched path: only cache misses hit the models,
+        and duplicate images inside the batch are computed once (their
+        handles share one queued request)."""
         handles = [
             self.submit(images[i], int(labels[i]), method,
                         None if target_labels is None

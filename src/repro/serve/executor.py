@@ -1,0 +1,108 @@
+"""Micro-batch executors: where flushed batches actually run.
+
+The engine hands each flushed micro-batch to an executor as a plain
+callable.  :class:`SerialExecutor` runs it inline on the calling thread
+— the deterministic default, zero overhead.  :class:`ThreadedExecutor`
+runs batches on persistent worker threads: the conv/GEMM contractions
+inside ``explain_batch`` are BLAS calls that release the GIL, so on
+multi-core hosts independent micro-batches (different methods, or
+different shape-queues of one method) overlap on real cores.
+
+Both expose the same two-method surface (``submit`` returning a
+:class:`concurrent.futures.Future`, ``shutdown``), so the engine — and
+any future process-pool executor — treats them interchangeably.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional, Union
+
+
+class SerialExecutor:
+    """Runs each batch inline on the caller's thread.
+
+    ``submit`` returns an already-completed future, so engine code paths
+    (dispatch, drain, error propagation) are identical across executors.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:       # noqa: BLE001 — future carries it
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Nothing to tear down; present for interface parity."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ThreadedExecutor:
+    """Persistent worker-thread pool for GIL-releasing batch work.
+
+    Workers are started once and reused for every batch (no per-flush
+    thread spawn).  Correctness under concurrency is guaranteed by the
+    engine side: the autograd tape switch is thread-local,
+    ``nn.frozen`` is reference-counted, and the engine serializes
+    batches of the same method with a per-method lock (explainer objects
+    are not audited for internal thread safety).
+    """
+
+    name = "threaded"
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="explain-worker")
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    def __repr__(self) -> str:
+        return f"ThreadedExecutor(workers={self.workers})"
+
+
+def make_executor(executor: Union[None, str, SerialExecutor,
+                                  ThreadedExecutor]):
+    """Resolve the engine's ``executor`` argument.
+
+    ``None``/``"serial"`` -> a :class:`SerialExecutor`; ``"threaded"``
+    -> a :class:`ThreadedExecutor` with default workers; an object is
+    passed through (it just needs ``submit``/``shutdown``/``name``).
+    """
+    if executor is None or executor == "serial":
+        return SerialExecutor()
+    if executor == "threaded":
+        return ThreadedExecutor()
+    if isinstance(executor, str):
+        raise ValueError(
+            f"unknown executor {executor!r}; use 'serial', 'threaded', or "
+            "an executor instance")
+    return executor

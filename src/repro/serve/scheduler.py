@@ -1,0 +1,208 @@
+"""Micro-batch scheduling: per-``(method, shape)`` queues with dedup.
+
+The scheduler owns the pending-request state of the engine runtime:
+
+* **Queue keying** — requests queue per ``(method, image_shape)``, so
+  one engine serves heterogeneous datasets: a 32x32 brain image and a
+  16x16 OCT image of the same method occupy independent queues that
+  batch and flush independently (``np.stack`` never sees mixed shapes).
+* **Cross-request dedup** — a submit whose ``(digest, method, label,
+  target)`` key is already queued *or in flight* (popped into a running
+  batch) attaches its handle to the existing request instead of
+  enqueueing a second compute; when the batch completes, the one result
+  fans out to every attached handle.  Duplicate-heavy traffic (and
+  duplicate images inside one synchronous ``explain_batch``) therefore
+  cost one explainer pass per unique request.
+
+The scheduler is *externally synchronized*: the engine calls every
+mutating method under its own lock.  Keeping the lock out of this class
+lets the engine compose enqueue + dispatch decisions atomically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cache import CacheKey
+
+#: Queue identity: one micro-batch queue per (method, image shape).
+QueueKey = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(eq=False)          # identity semantics (fields hold ndarrays)
+class ExplainRequest:
+    """One unique queued computation, fanning out to >= 1 handles."""
+
+    image: np.ndarray
+    label: int
+    target_label: Optional[int]
+    key: CacheKey
+    queue_key: QueueKey
+    handles: List = field(default_factory=list)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    #: Set while a dispatched batch containing this request is running.
+    future: Optional[object] = None
+
+
+class MicroBatchScheduler:
+    """Deduplicating per-``(method, shape)`` request queues.
+
+    ``max_batch`` counts *unique* requests: attaching a duplicate handle
+    never grows a micro-batch.  ``max_delay_ms`` bounds how long the
+    oldest queued request of a queue may wait before :meth:`enqueue`
+    reports the queue ready (``None`` disables the deadline).
+    """
+
+    def __init__(self, max_batch: int = 16,
+                 max_delay_ms: Optional[float] = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self._queues: Dict[QueueKey, List[ExplainRequest]] = {}
+        self._by_key: Dict[QueueKey, Dict[CacheKey, ExplainRequest]] = {}
+        #: key -> request for batches popped but not yet completed, so
+        #: duplicates arriving while their twin computes still dedup.
+        self._inflight: Dict[QueueKey, Dict[CacheKey, ExplainRequest]] = {}
+        self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    def _deadline_hit(self, queue: List[ExplainRequest]) -> bool:
+        return (self.max_delay_ms is not None and bool(queue)
+                and (time.monotonic() - queue[0].enqueued_at) * 1000.0
+                >= self.max_delay_ms)
+
+    def _ready(self, queue: List[ExplainRequest]) -> bool:
+        return len(queue) >= self.max_batch or self._deadline_hit(queue)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, method: str, image: np.ndarray, label: int,
+                target_label: Optional[int], key: CacheKey,
+                handle) -> Tuple[ExplainRequest, bool, bool]:
+        """Queue (or dedup onto) a request; returns
+        ``(request, deduped, queue_ready)``.
+
+        A *new* request owns a private copy of ``image`` (the caller
+        may reuse its buffer before the batch flushes, and ``key`` was
+        digested from the bytes as they are now); a deduped submit
+        attaches its handle without paying the copy.  Dedup covers both
+        still-queued requests and **in-flight** ones (popped into a
+        running batch but not yet completed), so duplicate traffic
+        never recomputes even when its twin is already executing.
+        """
+        queue_key: QueueKey = (method, tuple(image.shape))
+        queue = self._queues.setdefault(queue_key, [])
+        bucket = self._by_key.setdefault(queue_key, {})
+        request = bucket.get(key)
+        if request is None:
+            request = self._inflight.get(queue_key, {}).get(key)
+        if request is not None:
+            request.handles.append(handle)
+            self.dedup_hits += 1
+            deduped = True
+        else:
+            request = ExplainRequest(np.array(image, copy=True), int(label),
+                                     target_label, key, queue_key,
+                                     handles=[handle])
+            queue.append(request)
+            bucket[key] = request
+            deduped = False
+        return request, deduped, self._ready(queue)
+
+    def discard(self, request: ExplainRequest) -> bool:
+        """Drop a still-queued request (submit-failure cleanup)."""
+        queue = self._queues.get(request.queue_key)
+        if queue and request in queue:
+            queue.remove(request)
+            self._by_key[request.queue_key].pop(request.key, None)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _pop_chunk(self, queue_key: QueueKey) -> List[ExplainRequest]:
+        queue = self._queues[queue_key]
+        chunk = queue[:self.max_batch]
+        del queue[:len(chunk)]
+        bucket = self._by_key[queue_key]
+        inflight = self._inflight.setdefault(queue_key, {})
+        for request in chunk:
+            bucket.pop(request.key, None)
+            inflight[request.key] = request
+        return chunk
+
+    def mark_complete(self, requests: List[ExplainRequest]) -> None:
+        """Retire completed requests from the in-flight dedup map.
+
+        Must be called in the same critical section that resolves the
+        requests' handles, so a duplicate submit either attaches before
+        resolution (and is resolved with the batch) or arrives after
+        the key left the map (and re-probes the cache).
+        """
+        for request in requests:
+            self._inflight.get(request.queue_key, {}).pop(request.key,
+                                                          None)
+
+    def pop_batches(self, method: Optional[str] = None
+                    ) -> List[Tuple[QueueKey, List[ExplainRequest]]]:
+        """Drain every pending request (for one method or all) into
+        micro-batches of at most ``max_batch`` unique requests."""
+        batches = []
+        for queue_key in list(self._queues):
+            if method is not None and queue_key[0] != method:
+                continue
+            while self._queues[queue_key]:
+                batches.append((queue_key, self._pop_chunk(queue_key)))
+        return batches
+
+    def pop_ready(self, method: Optional[str] = None
+                  ) -> List[Tuple[QueueKey, List[ExplainRequest]]]:
+        """Pop only the queues that hit ``max_batch`` or the deadline,
+        leaving partial queues to keep accumulating (async ingestion)."""
+        batches = []
+        for queue_key in list(self._queues):
+            if method is not None and queue_key[0] != method:
+                continue
+            while self._ready(self._queues[queue_key]):
+                batches.append((queue_key, self._pop_chunk(queue_key)))
+        return batches
+
+    def requeue_front(self, queue_key: QueueKey,
+                      requests: List[ExplainRequest]) -> None:
+        """Put a failed batch back at the queue front for a retry.
+
+        A duplicate of a failed request may have been enqueued while the
+        batch ran; its handles are merged onto the requeued request so
+        no handle is ever split across two computations.
+        """
+        queue = self._queues.setdefault(queue_key, [])
+        bucket = self._by_key.setdefault(queue_key, {})
+        inflight = self._inflight.get(queue_key, {})
+        keep = []
+        for request in requests:
+            inflight.pop(request.key, None)
+            newer = bucket.get(request.key)
+            if newer is not None:
+                newer.handles.extend(request.handles)
+                self.dedup_hits += 1
+            else:
+                bucket[request.key] = request
+                keep.append(request)
+        queue[0:0] = keep
+
+    # ------------------------------------------------------------------
+    def pending_count(self, method: Optional[str] = None) -> int:
+        """Unique queued computations (deduped handles count once)."""
+        return sum(len(q) for key, q in self._queues.items()
+                   if method is None or key[0] == method)
+
+    def pending_handles(self, method: Optional[str] = None) -> int:
+        """Unresolved handles attached to queued requests."""
+        return sum(len(r.handles) for key, q in self._queues.items()
+                   if method is None or key[0] == method for r in q)
+
+    def queue_keys(self) -> List[QueueKey]:
+        return [key for key, q in self._queues.items() if q]

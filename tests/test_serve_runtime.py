@@ -1,0 +1,384 @@
+"""Tests for the sharded/deduplicating/async ``repro.serve`` runtime:
+cache shards, scheduler dedup fan-out, executors, heterogeneous-shape
+queues, and the thread-safety substrate they rely on."""
+
+import threading
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.explain import GradCAMExplainer, OcclusionExplainer
+from repro.explain.base import Explainer, SaliencyResult
+from repro.serve import (ExplainEngine, SaliencyCache, SerialExecutor,
+                         ShardedSaliencyCache, ThreadedExecutor,
+                         image_digest, make_executor, request_key)
+
+
+def _keys_for_shard(shard: int, shards: int, count: int):
+    """Deterministically craft cache keys whose digests route to one
+    shard (the cache routes on ``crc32(digest) % shards``)."""
+    keys = []
+    i = 0
+    while len(keys) < count:
+        digest = f"digest-{i}"
+        if zlib.crc32(digest.encode()) % shards == shard:
+            keys.append((digest, "m", 0, None))
+        i += 1
+    return keys
+
+
+def _result(value: float = 1.0) -> SaliencyResult:
+    return SaliencyResult(np.full((4, 4), value), 0)
+
+
+class TestShardedSaliencyCache:
+    def test_same_key_routes_to_same_shard(self):
+        cache = ShardedSaliencyCache(capacity=16, shards=4)
+        key = ("abc123", "gradcam", 1, None)
+        cache.put(key, _result())
+        assert key in cache
+        assert cache.get(key) is not None
+        assert cache.hits == 1
+
+    def test_sizes_and_eviction_accounting_aggregate(self):
+        cache = ShardedSaliencyCache(capacity=16, shards=4)
+        for i in range(40):
+            cache.put((f"d{i}", "m", 0, None), _result(i))
+        assert len(cache) == sum(cache.shard_sizes())
+        assert cache.inserts == 40
+        assert cache.evictions == cache.inserts - len(cache)
+        for shard, size in zip(cache.shards, cache.shard_sizes()):
+            assert size <= shard.capacity
+        stats = cache.stats()
+        assert stats["shards"] == 4
+        assert stats["size"] == len(cache)
+        assert stats["shard_sizes"] == cache.shard_sizes()
+
+    def test_per_shard_lru_eviction(self):
+        # capacity 8 over 4 shards -> 2 entries per shard; 5 keys all
+        # crafted onto shard 1 must leave the 2 most recent, 3 evicted,
+        # and every other shard untouched.
+        cache = ShardedSaliencyCache(capacity=8, shards=4)
+        keys = _keys_for_shard(1, 4, 5)
+        for i, key in enumerate(keys):
+            cache.put(key, _result(i))
+        assert cache.shard_sizes()[1] == 2
+        assert sum(cache.shard_sizes()) == 2
+        assert cache.evictions == 3
+        assert keys[-1] in cache and keys[-2] in cache
+        assert keys[0] not in cache
+
+    def test_shards_clamped_to_capacity(self):
+        cache = ShardedSaliencyCache(capacity=2, shards=8)
+        assert len(cache.shards) == 2
+
+    def test_capacity_split_evenly(self):
+        cache = ShardedSaliencyCache(capacity=10, shards=4)
+        assert sorted(s.capacity for s in cache.shards) == [2, 2, 3, 3]
+        assert sum(s.capacity for s in cache.shards) == 10
+
+    def test_single_shard_matches_plain_lru(self):
+        sharded = ShardedSaliencyCache(capacity=2, shards=1)
+        plain = SaliencyCache(capacity=2)
+        keys = [(f"d{i}", "m", 0, None) for i in range(3)]
+        for i, key in enumerate(keys):
+            sharded.put(key, _result(i))
+            plain.put(key, _result(i))
+        assert (keys[0] in sharded) == (keys[0] in plain) is False
+        assert sharded.evictions == plain.evictions == 1
+
+
+@pytest.fixture()
+def engine(tiny_classifier):
+    return ExplainEngine(
+        tiny_classifier,
+        {"gradcam": GradCAMExplainer(tiny_classifier),
+         "occlusion": OcclusionExplainer(tiny_classifier, window=4,
+                                         stride=4)},
+        max_batch=4, cache_size=32, cache_shards=4)
+
+
+@pytest.fixture()
+def sample(tiny_test_set):
+    return tiny_test_set.images, tiny_test_set.labels
+
+
+class TestDedup:
+    def test_duplicate_submits_share_one_computation(self, engine, sample):
+        images, labels = sample
+        handles = [engine.submit(images[0], int(labels[0]), "gradcam")
+                   for _ in range(3)]
+        assert engine.pending_count("gradcam") == 1      # one unique
+        assert engine.stats()["dedup_hits"] == 2
+        assert engine.stats()["pending_handles"] == 3
+        engine.flush("gradcam")
+        results = [h.result() for h in handles]
+        assert results[0] is results[1] is results[2]    # fanned out
+        stats = engine.stats()
+        assert stats["batches_run"] == 1
+        assert stats["requests_served"] == 3
+        assert stats["cache_inserts"] == 1
+
+    def test_explain_batch_duplicates_computed_once(self, engine, sample):
+        images, labels = sample
+        batch = images[[0, 0, 1]]
+        labs = labels[[0, 0, 1]]
+        results = engine.explain_batch(batch, labs, "occlusion")
+        assert len(results) == 3
+        assert results[0] is results[1]
+        stats = engine.stats()
+        assert stats["batches_run"] == 1                 # 2 unique, 1 batch
+        assert stats["dedup_hits"] == 1
+        assert stats["cache_inserts"] == 2
+
+    def test_different_label_or_target_not_deduped(self, engine, sample):
+        images, labels = sample
+        engine.submit(images[0], 0, "gradcam")
+        engine.submit(images[0], 1, "gradcam")
+        engine.submit(images[0], 0, "gradcam", target_label=1)
+        assert engine.pending_count("gradcam") == 3
+        assert engine.stats()["dedup_hits"] == 0
+
+    def test_duplicate_of_inflight_batch_attaches(self, tiny_classifier,
+                                                  sample):
+        """A duplicate arriving while its twin's batch is running on a
+        worker must attach to the in-flight request, not recompute."""
+        release = threading.Event()
+        entered = threading.Event()
+        computed = {"images": 0}
+
+        class Blocking(Explainer):
+            name = "block"
+
+            def explain_batch(self, images, labels, target_labels=None):
+                computed["images"] += len(images)
+                entered.set()
+                assert release.wait(timeout=5)
+                return [SaliencyResult(np.zeros(images.shape[2:]), int(y))
+                        for y in labels]
+
+        images, labels = sample
+        with ExplainEngine(tiny_classifier, {"block": Blocking()},
+                           max_batch=1, executor="threaded") as engine:
+            h1 = engine.submit_async(images[0], int(labels[0]), "block")
+            assert entered.wait(timeout=5)       # batch is now in flight
+            h2 = engine.submit_async(images[0], int(labels[0]), "block")
+            release.set()
+            assert engine.drain() == 2
+            assert computed["images"] == 1       # exactly one pass
+            assert h1.result() is h2.result()
+            stats = engine.stats()
+            assert stats["dedup_hits"] == 1
+            assert stats["requests_served"] == 2
+
+    def test_dedup_result_carries_digest(self, engine, sample):
+        images, labels = sample
+        result = engine.explain(images[0], int(labels[0]), "gradcam")
+        expected = request_key(images[0], "gradcam", int(labels[0]), None)
+        assert result.image_digest == expected[0]
+
+
+class TestDigestOncePerRequest:
+    def test_submit_hashes_each_image_once(self, engine, sample,
+                                           monkeypatch):
+        import repro.serve.engine as engine_mod
+        calls = []
+        real = image_digest
+
+        def counting(image):
+            calls.append(1)
+            return real(image)
+
+        monkeypatch.setattr(engine_mod, "image_digest", counting)
+        images, labels = sample
+        engine.explain(images[0], int(labels[0]), "gradcam")
+        assert len(calls) == 1                 # submit + insert share it
+        engine.explain(images[0], int(labels[0]), "gradcam")
+        assert len(calls) == 2                 # cache hit: one more probe
+
+
+class _ShapeStub(Explainer):
+    name = "stub"
+
+    def explain_batch(self, images, labels, target_labels=None):
+        return [SaliencyResult(np.full(images.shape[2:], images.shape[-1],
+                                       dtype=float), int(y))
+                for y in labels]
+
+
+class TestHeterogeneousShapes:
+    def test_shape_queues_flush_independently(self, tiny_classifier):
+        engine = ExplainEngine(tiny_classifier, {"stub": _ShapeStub()},
+                               max_batch=2)
+        big = [engine.submit(np.full((1, 16, 16), i, dtype=np.float32),
+                             0, "stub") for i in range(1)]
+        small = [engine.submit(np.full((1, 8, 8), i, dtype=np.float32),
+                               0, "stub") for i in range(1)]
+        assert engine.pending_count("stub") == 2
+        # Filling the 16x16 queue auto-flushes only that queue.
+        big.append(engine.submit(np.full((1, 16, 16), 9, dtype=np.float32),
+                                 0, "stub"))
+        assert all(h.done for h in big)
+        assert not small[0].done
+        assert engine.pending_count("stub") == 1
+        engine.flush("stub")
+        assert small[0].done
+        assert small[0].result().saliency.shape == (8, 8)
+        assert big[0].result().saliency.shape == (16, 16)
+        assert engine.stats()["batches_run"] == 2
+
+    def test_never_stacks_mixed_shapes(self, tiny_classifier):
+        seen = []
+
+        class Recorder(Explainer):
+            name = "rec"
+
+            def explain_batch(self, images, labels, target_labels=None):
+                seen.append(images.shape)
+                return [SaliencyResult(np.zeros(images.shape[2:]), int(y))
+                        for y in labels]
+
+        engine = ExplainEngine(tiny_classifier, {"rec": Recorder()},
+                               max_batch=8)
+        for i in range(3):
+            engine.submit(np.full((1, 16, 16), i, dtype=np.float32),
+                          0, "rec")
+        for i in range(2):
+            engine.submit(np.full((1, 8, 8), i, dtype=np.float32),
+                          0, "rec")
+        engine.flush()
+        assert sorted(seen) == [(2, 1, 8, 8), (3, 1, 16, 16)]
+
+
+class TestExecutors:
+    def test_make_executor_resolution(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        threaded = make_executor("threaded")
+        assert isinstance(threaded, ThreadedExecutor)
+        threaded.shutdown()
+        with pytest.raises(ValueError):
+            make_executor("hyperdrive")
+
+    def test_threaded_matches_serial(self, tiny_classifier, sample):
+        images, labels = sample
+
+        def build(executor):
+            return ExplainEngine(
+                tiny_classifier,
+                {"gradcam": GradCAMExplainer(tiny_classifier),
+                 "occlusion": OcclusionExplainer(tiny_classifier, window=4,
+                                                 stride=4)},
+                max_batch=3, cache_size=64, cache_shards=4,
+                executor=executor)
+
+        serial, threaded = build("serial"), build("threaded")
+        with threaded:
+            pairs = []
+            for i in range(6):
+                for m in ("gradcam", "occlusion"):
+                    pairs.append((serial.submit_async(images[i],
+                                                      int(labels[i]), m),
+                                  threaded.submit_async(images[i],
+                                                        int(labels[i]), m)))
+            assert serial.drain() == threaded.drain() == len(pairs)
+            for a, b in pairs:
+                np.testing.assert_allclose(a.result().saliency,
+                                           b.result().saliency,
+                                           rtol=1e-5, atol=1e-6)
+
+    def test_submit_async_resolves_via_handle_result(self, tiny_classifier,
+                                                     sample):
+        images, labels = sample
+        with ExplainEngine(tiny_classifier,
+                           {"gradcam": GradCAMExplainer(tiny_classifier)},
+                           max_batch=2, executor="threaded") as engine:
+            h1 = engine.submit_async(images[0], int(labels[0]), "gradcam")
+            h2 = engine.submit_async(images[1], int(labels[1]), "gradcam")
+            # Full queue dispatched without blocking; result() waits on
+            # the in-flight future (no flush needed).
+            assert h1.result().saliency.shape == images[0].shape[1:]
+            assert h2.result().label == int(labels[1])
+            assert engine.pending_count() == 0
+
+    def test_async_failure_requeues_for_retry(self, tiny_classifier,
+                                              sample):
+        class Flaky(Explainer):
+            name = "flaky"
+
+            def __init__(self):
+                self.calls = 0
+
+            def explain_batch(self, images, labels, target_labels=None):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("transient backend failure")
+                return [SaliencyResult(np.zeros(images.shape[2:]), int(y))
+                        for y in labels]
+
+        images, labels = sample
+        with ExplainEngine(tiny_classifier, {"flaky": Flaky()},
+                           max_batch=2, executor="threaded") as engine:
+            engine.submit_async(images[0], int(labels[0]), "flaky")
+            handle = engine.submit_async(images[1], int(labels[1]), "flaky")
+            with pytest.raises(RuntimeError, match="transient"):
+                engine.drain()
+            assert engine.pending_count("flaky") == 2    # requeued
+            assert engine.drain() == 2                   # retry succeeds
+            assert handle.result().label == int(labels[1])
+
+    def test_drain_empty_engine_is_noop(self, engine):
+        assert engine.drain() == 0
+
+
+class TestThreadSafetySubstrate:
+    def test_grad_switch_is_thread_local(self):
+        observed = {}
+
+        def worker():
+            observed["worker"] = nn.is_grad_enabled()
+
+        with nn.no_grad():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert not nn.is_grad_enabled()
+        assert observed["worker"] is True      # default, not leaked False
+        assert nn.is_grad_enabled()
+
+    def test_frozen_is_reference_counted(self, tiny_classifier):
+        params = list(tiny_classifier.parameters())
+        assert all(p.requires_grad for p in params)
+        with nn.frozen(tiny_classifier):
+            assert not any(p.requires_grad for p in params)
+            with nn.frozen(tiny_classifier):
+                assert not any(p.requires_grad for p in params)
+            # Inner exit must not unfreeze while the outer scope holds.
+            assert not any(p.requires_grad for p in params)
+        assert all(p.requires_grad for p in params)
+
+    def test_frozen_concurrent_scopes_restore_flags(self, tiny_classifier):
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def hold():
+            try:
+                with nn.frozen(tiny_classifier):
+                    barrier.wait(timeout=5)
+                    barrier.wait(timeout=5)
+            except Exception as exc:        # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        t = threading.Thread(target=hold)
+        t.start()
+        barrier.wait(timeout=5)             # other thread holds the freeze
+        with nn.frozen(tiny_classifier):
+            pass                            # overlapping scope exits first
+        assert not any(p.requires_grad
+                       for p in tiny_classifier.parameters())
+        barrier.wait(timeout=5)
+        t.join(timeout=5)
+        assert not errors
+        assert all(p.requires_grad for p in tiny_classifier.parameters())
