@@ -213,7 +213,11 @@ def main() -> None:
     if os.path.exists(args.out):
         with open(args.out) as fh:
             doc = json.load(fh)
-    doc[args.label] = {
+    # Merge into the label's entry rather than replacing it, so the
+    # `admission` section bench_admission.py writes for the same label
+    # survives a rerun of this script (and vice versa).
+    entry = doc.setdefault(args.label, {})
+    entry.update({
         "serial_rps": round(serial_rps, 2),
         "threaded_rps": round(threaded_rps, 2),
         "threaded_speedup": round(speedup, 3),
@@ -226,7 +230,7 @@ def main() -> None:
         "classifier_width": WIDTH,
         "python": platform.python_version(),
         "numpy": np.__version__,
-    }
+    })
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

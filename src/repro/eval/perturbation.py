@@ -149,7 +149,10 @@ def evaluate_methods(explainers: Optional[Dict[str, Explainer]],
     method's explain step is served through the engine runtime — pass
     ``explainers=None`` to sweep every method the engine serves, or a
     dict/iterable to restrict the sweep.  Reproduction runs then share
-    the serving code path (and its cache/dedup counters) with traffic.
+    the serving code path (and its cache/dedup/admission counters) with
+    traffic: on a ``max_pending`` engine the sweep's ingestion is
+    bounded, and on an adaptive (``min_batch``) engine each method's
+    batches settle at its own latency-matched size.
     """
     if engine is not None:
         names = list(explainers) if explainers is not None \

@@ -190,7 +190,11 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     def engine(self, include: Optional[tuple] = None, max_batch: int = 16,
                max_delay_ms: Optional[float] = None,
+               min_batch: Optional[int] = None,
+               target_batch_ms: float = 200.0,
                cache_size: int = 256, cache_shards: int = 4,
+               eviction: str = "lru",
+               max_pending: Optional[int] = None, policy: str = "block",
                executor=None):
         """The serving-layer :class:`~repro.serve.ExplainEngine` over this
         context's classifier + suite, so repeated sweeps hit the saliency
@@ -199,13 +203,20 @@ class ExperimentContext:
         the same engine (warm cache); different arguments rebuild it —
         **invalidating** a previously returned engine whose executor the
         context created ("serial"/"threaded" strings): its workers are
-        shut down so they don't leak.  An executor *instance* passed by
-        the caller stays the caller's to close.
+        shut down (after a drain) so nothing leaks or strands.  An
+        executor *instance* passed by the caller stays the caller's to
+        close.
         ``executor`` picks the batch executor (``None``/"serial",
-        "threaded", or an instance); the cache defaults to 4 LRU shards.
+        "threaded", or an instance); the cache defaults to 4 shards.
+        The admission-control knobs pass straight through:
+        ``min_batch``/``target_batch_ms`` turn on adaptive per-queue
+        micro-batching, ``eviction`` picks "lru" or cost-aware "cost",
+        and ``max_pending``/``policy`` bound async ingestion (block or
+        reject on overload).
         """
         config = (include, max_batch, max_delay_ms, cache_size,
-                  cache_shards, executor)
+                  cache_shards, executor, min_batch, target_batch_ms,
+                  eviction, max_pending, policy)
         if self._engine is None or self._engine[0] != config:
             from ..serve import ExplainEngine
             if self._engine is not None:
@@ -228,7 +239,9 @@ class ExperimentContext:
             self._engine = (config, ExplainEngine(
                 self.classifier, explainers,
                 max_batch=max_batch, max_delay_ms=max_delay_ms,
+                min_batch=min_batch, target_batch_ms=target_batch_ms,
                 cache_size=cache_size, cache_shards=cache_shards,
+                eviction=eviction, max_pending=max_pending, policy=policy,
                 executor=executor))
         return self._engine[1]
 

@@ -78,6 +78,11 @@ def served_saliency_time_ms(engine, method: str, images: np.ndarray,
     :class:`~repro.serve.ExplainEngine` (one cache-aware
     ``explain_batch`` sweep).  On a warm cache this measures pure
     serving overhead; on a cold cache, the micro-batched compute path.
+
+    ``explain_batch`` ingests through the engine's admission-controlled
+    async path, so timing a ``max_pending`` engine measures the same
+    bounded-memory pipeline (and, when adaptive batching is on, the
+    same per-queue batch limits) that serves live traffic.
     """
     if n_images is not None:
         images = images[:n_images]

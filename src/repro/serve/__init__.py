@@ -3,20 +3,29 @@
 The package splits the serving layer into four pieces:
 
 * :mod:`~repro.serve.cache` — :class:`ShardedSaliencyCache`: N
-  independent thread-safe LRU shards keyed on a stable hash of the
-  image digest; per-shard stats aggregate in ``stats()``.
+  independent thread-safe shards keyed on a stable hash of the image
+  digest; per-shard stats aggregate in ``stats()``.  Eviction is exact
+  LRU by default or cost-aware GDSF (``policy="cost"``): each insert
+  records the measured per-map compute cost, so a flood of cheap maps
+  can't evict the few expensive ones.
 * :mod:`~repro.serve.scheduler` — :class:`MicroBatchScheduler`: pending
   requests queue per ``(method, image_shape)`` (one engine serves
   heterogeneous datasets) and identical ``(digest, method, label,
   target)`` requests dedup onto one computation whose result fans out
-  to every attached handle.
+  to every attached handle.  With ``min_batch`` set, each queue's flush
+  limit adapts to its observed per-map latency (cheap methods batch
+  wide, expensive ones flush small).
 * :mod:`~repro.serve.executor` — :class:`SerialExecutor` (inline,
   deterministic) and :class:`ThreadedExecutor` (persistent worker
   threads; the BLAS GEMMs inside ``explain_batch`` release the GIL, so
   independent micro-batches overlap on multi-core hosts).
 * :mod:`~repro.serve.engine` — the :class:`ExplainEngine` façade tying
   them together behind ``submit`` / ``submit_async`` / ``flush`` /
-  ``drain`` / ``explain`` / ``explain_batch``.
+  ``drain`` / ``explain`` / ``explain_batch``.  Async ingestion is
+  admission-controlled: ``max_pending`` bounds unique unresolved
+  requests, and an over-limit ``submit_async`` blocks for room
+  (``policy="block"``) or raises :class:`EngineOverloaded`
+  (``policy="reject"``).
 
 Quickstart
 ----------
@@ -25,29 +34,34 @@ Quickstart
     from repro.serve import ExplainEngine
 
     engine = ExplainEngine(classifier, suite.explainers,
-                           max_batch=16, cache_size=512, cache_shards=4,
+                           max_batch=32, min_batch=2,   # adaptive batching
+                           cache_size=512, cache_shards=4,
+                           eviction="cost",             # keep pricey maps
+                           max_pending=64,              # backpressure
                            executor="threaded")
     handles = [engine.submit_async(img, int(lab), "gradcam")
-               for img, lab in zip(images, labels)]   # non-blocking
+               for img, lab in zip(images, labels)]   # bounded, non-blocking
     engine.drain()                                    # resolve everything
     maps = [h.result().saliency for h in handles]
     print(engine.stats())   # hits/misses/evictions per shard, batches,
-                            # dedup fan-outs, in-flight batches
-    engine.close()
+                            # dedup fan-outs, admission + batch-limit state
+    engine.close()          # drains first: no handle is ever stranded
 
 Methods with ``needs_gradients = False`` run under the (thread-local)
 ``nn.no_grad()``; every image is digested exactly once per request and
 the digest is stamped on the result's ``image_digest`` field.
 """
 
-from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
-                    image_digest, request_key)
-from .engine import ExplainEngine, PendingExplain
+from .cache import (EVICTION_POLICIES, CacheKey, SaliencyCache,
+                    ShardedSaliencyCache, image_digest, request_key)
+from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
+                     PendingExplain)
 from .executor import SerialExecutor, ThreadedExecutor, make_executor
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 
 __all__ = [
-    "ExplainEngine", "PendingExplain",
+    "ExplainEngine", "PendingExplain", "EngineOverloaded",
+    "ADMISSION_POLICIES", "EVICTION_POLICIES",
     "SaliencyCache", "ShardedSaliencyCache", "CacheKey",
     "image_digest", "request_key",
     "MicroBatchScheduler", "ExplainRequest", "QueueKey",

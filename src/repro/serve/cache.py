@@ -6,12 +6,26 @@ whole runtime (queued request, cache insert, and the resulting
 :class:`~repro.explain.base.SaliencyResult.image_digest` field) — the
 image bytes are never re-hashed.
 
-:class:`SaliencyCache` is one thread-safe LRU shard.
+:class:`SaliencyCache` is one thread-safe bounded shard.
 :class:`ShardedSaliencyCache` fronts N independent shards keyed on a
 stable hash of the digest, so concurrent executor workers contend on
 1/N of the lock traffic and eviction pressure spreads across shards.
-With ``shards=1`` it degenerates to a single global LRU (the engine's
-default, which keeps exact LRU eviction semantics).
+With ``shards=1`` it degenerates to a single global shard (the engine's
+default, which keeps exact eviction semantics).
+
+Two eviction policies:
+
+* ``policy="lru"`` (default) — classic least-recently-used.  Exact,
+  cost-blind: a StyLEx map that took seconds to compute is evicted as
+  readily as a CAE map that took a millisecond.
+* ``policy="cost"`` — GDSF-style cost-aware eviction.  Each insert
+  records the compute cost the runtime measured for the entry
+  (``cost_ms``, per-map milliseconds); an entry's priority is
+  ``clock + cost / size`` and the minimum-priority entry is evicted.
+  The clock ratchets up to each evicted priority, so long-untouched
+  entries age out eventually, but under pressure a flood of cheap
+  recomputable maps cannot push out the few expensive ones — the
+  weighted (cost-adjusted) hit rate stays high where LRU's collapses.
 """
 
 from __future__ import annotations
@@ -53,15 +67,54 @@ def request_key(image: np.ndarray, method: str, label: int,
     return (digest, method, int(label), target)
 
 
-class SaliencyCache:
-    """One thread-safe bounded-LRU shard: :data:`CacheKey` -> result."""
+EVICTION_POLICIES = ("lru", "cost")
 
-    def __init__(self, capacity: int = 256):
+
+def _freeze_result(result: SaliencyResult) -> None:
+    """Make every ndarray reachable from a cached result read-only.
+
+    Hits hand out the cached object itself (no per-hit copy), so a
+    consumer mutating *any* array field — not just ``saliency`` — would
+    silently corrupt every future hit.  Dict-valued fields (``meta``)
+    are swept one level deep, where explainers stash auxiliary arrays.
+    """
+    fields = getattr(result, "__dict__", None)
+    if fields is None:                   # plain values (tests, stubs)
+        return
+    for value in fields.values():
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        elif isinstance(value, dict):
+            for item in value.values():
+                if isinstance(item, np.ndarray):
+                    item.setflags(write=False)
+
+
+class SaliencyCache:
+    """One thread-safe bounded shard: :data:`CacheKey` -> result.
+
+    ``policy`` picks eviction: exact LRU (default) or cost-aware GDSF
+    (``"cost"`` — see the module docstring).  Under the cost policy each
+    eviction scans the shard for the minimum-priority entry; shards are
+    a few hundred entries, so the scan is cheaper than maintaining a
+    heap with lazy invalidation at this scale.
+    """
+
+    def __init__(self, capacity: int = 256, policy: str = "lru"):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}; "
+                             f"use one of {EVICTION_POLICIES}")
         self.capacity = capacity
+        self.policy = policy
         self._store: "OrderedDict[CacheKey, SaliencyResult]" = OrderedDict()
         self._lock = threading.Lock()
+        # Cost-policy state: per-key compute cost and GDSF priority,
+        # plus the aging clock that ratchets to each evicted priority.
+        self._cost: Dict[CacheKey, float] = {}
+        self._priority: Dict[CacheKey, float] = {}
+        self._clock = 0.0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -73,6 +126,31 @@ class SaliencyCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._store
 
+    # -- cost-policy helpers (called under self._lock) -----------------
+    @staticmethod
+    def _size_of(result: SaliencyResult) -> float:
+        saliency = getattr(result, "saliency", None)
+        if isinstance(saliency, np.ndarray) and saliency.size:
+            return float(saliency.size)
+        return 1.0
+
+    def _reprioritize(self, key: CacheKey, result: SaliencyResult) -> None:
+        self._priority[key] = (self._clock
+                               + self._cost.get(key, 0.0)
+                               / self._size_of(result))
+
+    def _evict_one(self) -> None:
+        if self.policy == "cost":
+            victim = min(self._priority, key=self._priority.__getitem__)
+            evicted_priority = self._priority.pop(victim)
+            self._clock = max(self._clock, evicted_priority)
+            self._cost.pop(victim, None)
+            del self._store[victim]
+        else:
+            self._store.popitem(last=False)
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[SaliencyResult]:
         with self._lock:
             result = self._store.get(key)
@@ -80,31 +158,37 @@ class SaliencyCache:
                 self.misses += 1
                 return None
             self._store.move_to_end(key)
+            if self.policy == "cost":
+                # Refresh at the current clock: recency plus cost bonus.
+                self._reprioritize(key, result)
             self.hits += 1
             return result
 
     def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
-        """Read without touching hit/miss counters or LRU recency (for
+        """Read without touching hit/miss counters or recency (for
         internal double-checks that must not skew serving stats)."""
         with self._lock:
             return self._store.get(key)
 
-    def put(self, key: CacheKey, result: SaliencyResult) -> None:
-        # Hits hand out the cached object itself (no per-hit copy), so
-        # freeze the map: an in-place mutation by a consumer raises
-        # instead of silently corrupting every future hit.
-        saliency = getattr(result, "saliency", None)
-        if isinstance(saliency, np.ndarray):
-            saliency.setflags(write=False)
+    def put(self, key: CacheKey, result: SaliencyResult,
+            cost_ms: Optional[float] = None) -> None:
+        """Insert a result, optionally recording its measured compute
+        cost (per-map milliseconds; the engine passes batch ms / batch
+        size).  The cost feeds the ``"cost"`` eviction policy and is
+        ignored — but still accepted — under ``"lru"``."""
+        _freeze_result(result)
         with self._lock:
             if key in self._store:
                 self._store.move_to_end(key)
             else:
                 self.inserts += 1
             self._store[key] = result
+            if self.policy == "cost":
+                if cost_ms is not None:
+                    self._cost[key] = float(cost_ms)
+                self._reprioritize(key, result)
             while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
-                self.evictions += 1
+                self._evict_one()
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
@@ -121,10 +205,14 @@ class ShardedSaliencyCache:
     ``capacity`` is split as evenly as possible across shards (every
     shard holds at least one entry); ``shards`` is clamped so this
     always works.  Aggregate counters are summed over shards in
-    :meth:`stats`.
+    :meth:`stats`.  ``policy`` selects each shard's eviction policy
+    (``"lru"`` or cost-aware ``"cost"``); eviction decisions stay
+    per-shard, so the cost policy compares priorities only among keys
+    that share a shard.
     """
 
-    def __init__(self, capacity: int = 256, shards: int = 1):
+    def __init__(self, capacity: int = 256, shards: int = 1,
+                 policy: str = "lru"):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         if shards < 1:
@@ -132,8 +220,9 @@ class ShardedSaliencyCache:
         shards = min(shards, capacity)
         base, extra = divmod(capacity, shards)
         self.capacity = capacity
+        self.policy = policy
         self.shards: List[SaliencyCache] = [
-            SaliencyCache(base + (1 if i < extra else 0))
+            SaliencyCache(base + (1 if i < extra else 0), policy=policy)
             for i in range(shards)
         ]
 
@@ -156,8 +245,9 @@ class ShardedSaliencyCache:
     def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
         return self._shard(key).peek(key)
 
-    def put(self, key: CacheKey, result: SaliencyResult) -> None:
-        self._shard(key).put(key, result)
+    def put(self, key: CacheKey, result: SaliencyResult,
+            cost_ms: Optional[float] = None) -> None:
+        self._shard(key).put(key, result, cost_ms=cost_ms)
 
     # -- aggregated counters -------------------------------------------
     @property
@@ -185,6 +275,7 @@ class ShardedSaliencyCache:
             "hits": self.hits, "misses": self.misses,
             "evictions": self.evictions, "inserts": self.inserts,
             "size": len(self), "capacity": self.capacity,
+            "policy": self.policy,
             "shards": len(self.shards),
             "shard_sizes": self.shard_sizes(),
         }

@@ -13,9 +13,21 @@ batch executor — behind the serving API the rest of the repo consumes:
 * ``submit_async`` / ``drain`` — the non-blocking path: full micro-
   batches are dispatched to the executor without waiting, and
   ``drain()`` resolves everything in flight plus everything queued.
+* **Admission control** — ``max_pending`` bounds the unique unresolved
+  requests the async path may hold (queued plus dispatched-but-
+  unfinished).  An over-limit ``submit_async`` either blocks on a
+  condition variable until completed batches make room
+  (``policy="block"``) or raises :class:`EngineOverloaded`
+  (``policy="reject"``) so the caller can shed load; cache hits and
+  dedup attaches are always admitted (they add no work).  ``stats()``
+  reports the rejected count and total blocked milliseconds.
 * Each image is digested **once** per request; the digest rides the
   request through the queue, keys the cache insert, and lands on the
   result's ``image_digest`` field.
+* Each batch's measured wall time feeds back twice: as the per-map
+  compute cost on the cache insert (the ``eviction="cost"`` policy
+  keeps expensive maps under pressure) and into the scheduler's
+  adaptive per-queue batch limits (``min_batch``).
 * Methods with ``needs_gradients = False`` execute under
   ``nn.no_grad()`` (a thread-local switch, so concurrent workers never
   leak inference mode into each other's tapes).
@@ -24,6 +36,7 @@ batch executor — behind the serving API the rest of the repo consumes:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Tuple
 
@@ -36,8 +49,24 @@ from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
 from .executor import make_executor
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 
-__all__ = ["ExplainEngine", "PendingExplain", "SaliencyCache",
-           "image_digest", "request_key"]
+__all__ = ["EngineOverloaded", "ExplainEngine", "PendingExplain",
+           "SaliencyCache", "image_digest", "request_key"]
+
+ADMISSION_POLICIES = ("block", "reject")
+
+
+class EngineOverloaded(RuntimeError):
+    """Raised by ``submit_async`` under ``policy="reject"`` when the
+    engine already holds ``max_pending`` unique unresolved requests.
+    The rejected request was not queued; the caller owns the retry (or
+    the shed).
+
+    A ``policy="block"`` submit raises it in exactly one situation:
+    the backpressure can never drain because the pending work keeps
+    failing even after the blocked submit's own retry dispatch (the
+    batch failure rides along as ``__cause__`` and its requests stay
+    queued for another retry).  A transient, fails-once batch recovers
+    transparently inside the block."""
 
 
 class PendingExplain:
@@ -104,18 +133,42 @@ class ExplainEngine:
         ``name -> Explainer`` mapping (an
         :class:`~repro.explain.ExplainerSuite`'s ``explainers`` dict).
     max_batch:
-        Micro-batch size: a ``(method, shape)`` queue auto-flushes when
-        this many *unique* requests are pending.
+        Micro-batch size ceiling: a ``(method, shape)`` queue
+        auto-flushes when its current limit of *unique* requests is
+        pending (the limit is ``max_batch`` itself unless adaptive
+        batching is on).
     max_delay_ms:
         Deadline: a submit auto-flushes a queue whose oldest pending
         request has waited at least this long.  ``None`` disables the
         deadline (flush on size or demand only).
+    min_batch:
+        Turns on adaptive micro-batching: each queue's flush limit
+        ramps between ``min_batch`` and ``max_batch`` from the observed
+        per-map latency of its recent batches, targeting
+        ``target_batch_ms`` of compute per batch.  ``None`` (default)
+        keeps the single static ``max_batch`` knob.
+    target_batch_ms:
+        Per-batch compute budget the adaptive limits steer toward
+        (ignored unless ``min_batch`` is set).
     cache_size:
         Total saliency-cache capacity (entries, across all shards).
     cache_shards:
-        LRU shard count.  1 (default) keeps exact global-LRU eviction
+        Cache shard count.  1 (default) keeps exact global eviction
         semantics; serving deployments with a threaded executor should
         shard (4-8) to spread lock traffic and eviction pressure.
+    eviction:
+        Cache eviction policy: exact ``"lru"`` (default) or cost-aware
+        ``"cost"`` (GDSF: under pressure, cheap-to-recompute maps are
+        evicted before expensive ones — the engine records each batch's
+        measured per-map cost on insert).
+    max_pending:
+        Admission bound: the async path holds at most this many unique
+        unresolved requests (queued + dispatched).  ``None`` (default)
+        admits everything — the pre-admission unbounded behaviour.
+    policy:
+        What an over-limit ``submit_async`` does: ``"block"`` (default)
+        waits on a condition variable until room frees; ``"reject"``
+        raises :class:`EngineOverloaded` immediately.
     executor:
         ``None``/``"serial"`` (inline, deterministic), ``"threaded"``
         (persistent worker threads), or an executor instance.
@@ -123,18 +176,42 @@ class ExplainEngine:
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
                  max_batch: int = 16, max_delay_ms: Optional[float] = None,
+                 min_batch: Optional[int] = None,
+                 target_batch_ms: float = 200.0,
                  cache_size: int = 256, cache_shards: int = 1,
+                 eviction: str = "lru",
+                 max_pending: Optional[int] = None, policy: str = "block",
                  executor=None):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy {policy!r}; "
+                             f"use one of {ADMISSION_POLICIES}")
         self.classifier = classifier
         self.explainers = dict(explainers)
-        self.cache = ShardedSaliencyCache(cache_size, shards=cache_shards)
-        self._scheduler = MicroBatchScheduler(max_batch, max_delay_ms)
+        self.cache = ShardedSaliencyCache(cache_size, shards=cache_shards,
+                                          policy=eviction)
+        self._scheduler = MicroBatchScheduler(
+            max_batch, max_delay_ms, min_batch=min_batch,
+            target_batch_ms=target_batch_ms)
         self._executor = make_executor(executor)
         self._lock = threading.RLock()
         self._inflight: List[Future] = []
         #: Resolve counts banked from pruned (already-done) async
         #: futures, paid out by the next drain().
         self._async_resolved = 0
+        # Admission control: _unresolved counts unique requests admitted
+        # but not yet resolved (queued or inside a dispatched batch);
+        # the condition shares the engine lock so batch completion can
+        # decrement and notify in its existing critical section.
+        self.max_pending = max_pending
+        self.admission_policy = policy
+        self._admission = threading.Condition(self._lock)
+        self._unresolved = 0
+        self.admission_rejected = 0
+        self.admission_blocked = 0
+        self.admission_blocked_ms = 0.0
+        self._closed = False
         # Batches of one method never overlap: explainer objects are not
         # audited for internal thread safety, so concurrency comes from
         # running *different* methods (or shape-queues) in parallel.
@@ -178,6 +255,14 @@ class ExplainEngine:
                 "pending_handles": self._scheduler.pending_handles(),
                 "dedup_hits": self._scheduler.dedup_hits,
                 "inflight": inflight,
+                "unresolved": self._unresolved,
+                "max_pending": self.max_pending,
+                "admission_policy": self.admission_policy,
+                "admission_rejected": self.admission_rejected,
+                "admission_blocked": self.admission_blocked,
+                "admission_blocked_ms": round(self.admission_blocked_ms, 3),
+                "batch_limits": self._scheduler.batch_limits(),
+                "eviction": self.cache.policy,
                 "executor": self._executor.name,
             }
 
@@ -186,14 +271,51 @@ class ExplainEngine:
             return self._scheduler.pending_count(method)
 
     def close(self) -> None:
-        """Shut down the executor's workers (idempotent)."""
-        self._executor.shutdown()
+        """Drain, then shut down the executor's workers (idempotent).
+
+        Shutting the executor down while requests still sit queued or
+        in flight would silently strand their unresolved handles, so
+        ``close()`` drains first.  A failing batch gets one retry (its
+        requests requeue at the front); a batch that still fails leaves
+        the engine closed — no worker leak — but re-raises so stranded
+        handles are loud, not lost.
+        """
+        if self._closed:
+            return
+        error: Optional[Exception] = None
+        try:
+            for _ in range(2):             # initial drain + one retry
+                try:
+                    self.drain()
+                    error = None
+                    break
+                except Exception as exc:
+                    # Only batch failures are retried; KeyboardInterrupt
+                    # / SystemExit must propagate, not be eaten by a
+                    # second full drain.
+                    error = exc
+        finally:
+            # Shut the workers down on every exit path — including a
+            # propagating interrupt — so close() never leaks them.
+            self._closed = True
+            self._executor.shutdown()
+        if error is not None:
+            raise error
 
     def __enter__(self) -> "ExplainEngine":
         return self
 
     def __exit__(self, *exc) -> bool:
-        self.close()
+        # Propagating a drain failure would mask the body's own
+        # exception — close quietly in that case (the body's error is
+        # the one the caller needs).
+        if exc and exc[0] is not None:
+            try:
+                self.close()
+            except BaseException:          # noqa: BLE001
+                pass
+        else:
+            self.close()
         return False
 
     # ------------------------------------------------------------------
@@ -219,18 +341,28 @@ class ExplainEngine:
         else:
             targets = None
         with self._method_locks[method]:
+            # Time inside the method lock: a batch that convoyed behind
+            # another batch of its method must not bill the wait as
+            # compute, or the inflated cost skews eviction priorities
+            # and shrinks the adaptive batch limit under load.
+            start = time.perf_counter()
             if explainer.needs_gradients:
                 results = explainer.explain_batch(images, labels, targets)
             else:
                 with nn.no_grad():
                     results = explainer.explain_batch(images, labels,
                                                       targets)
+            batch_ms = (time.perf_counter() - start) * 1000.0
+        # Measured per-map cost feeds the cost-aware eviction policy
+        # (cache insert below) and the queue's adaptive batch limit.
+        cost_ms = batch_ms / len(requests)
         served = 0
         with self._lock:
             self.batches_run += 1
+            self._scheduler.observe(queue_key, batch_ms, len(requests))
             for request, result in zip(requests, results):
                 result.image_digest = request.key[0]
-                self.cache.put(request.key, result)
+                self.cache.put(request.key, result, cost_ms=cost_ms)
                 for handle in request.handles:
                     handle._result = result
                 served += len(request.handles)
@@ -239,6 +371,8 @@ class ExplainEngine:
             # submit either attached in time (resolved above) or finds
             # the key gone from the in-flight map and hits the cache.
             self._scheduler.mark_complete(requests)
+            self._unresolved -= sum(1 for r in requests if r.counted)
+            self._admission.notify_all()   # room freed: wake blocked submits
         return served
 
     def _pop_and_prepare(self, method: Optional[str],
@@ -262,11 +396,16 @@ class ExplainEngine:
                 # callers resolve via handle.result() (never drain())
                 # doesn't accumulate done futures without bound.  Their
                 # resolve counts are banked for drain()'s return value;
-                # failed futures are kept so drain() still re-raises.
+                # failed futures are kept so drain() still re-raises —
+                # unless the failure went stale (a retry resolved every
+                # handle of the batch), in which case there is nothing
+                # left to report.
                 kept = []
                 for f in self._inflight:
                     if f.done() and f.exception() is None:
                         self._async_resolved += f.result()
+                    elif f.done() and self._failure_is_stale(f):
+                        pass
                     else:
                         kept.append(f)
                 self._inflight = kept
@@ -275,9 +414,27 @@ class ExplainEngine:
                 for request in requests:
                     request.future = future
                 if track:
+                    # Remember the batch behind the future: if it fails
+                    # and a later flush/result() retry resolves the
+                    # requeued requests, the parked exception is stale
+                    # and drain() must not re-raise it.
+                    future.engine_requests = requests
                     self._inflight.append(future)
                 prepared.append((future, queue_key, requests))
             return prepared
+
+    @staticmethod
+    def _failure_is_stale(future: Future) -> bool:
+        """True when every handle of a failed tracked batch has since
+        resolved (its requeued requests were retried successfully by a
+        flush or ``result()``): the exception reports work that already
+        recovered, so surfacing it would be a spurious crash.  Call
+        under the engine lock (handle lists mutate under it)."""
+        requests = getattr(future, "engine_requests", None)
+        if not requests:
+            return False
+        return all(handle._result is not None
+                   for request in requests for handle in request.handles)
 
     def _launch(self, future: Future, queue_key: QueueKey,
                 requests: List[ExplainRequest]) -> None:
@@ -299,7 +456,25 @@ class ExplainEngine:
                 with self._lock:
                     for request in requests:
                         request.future = None
-                    self._scheduler.requeue_front(queue_key, requests)
+                    merged = self._scheduler.requeue_front(queue_key,
+                                                           requests)
+                    # A requeued request that merged onto a newer
+                    # duplicate shrank the unique pending set; its
+                    # admission slot transfers to the survivor (or is
+                    # released if the survivor already holds one).
+                    freed = 0
+                    for request in merged:
+                        if not request.counted:
+                            continue
+                        newer = self._scheduler.lookup(queue_key,
+                                                       request.key)
+                        if newer is not None and not newer.counted:
+                            newer.counted = True
+                        else:
+                            freed += 1
+                    if freed:
+                        self._unresolved -= freed
+                        self._admission.notify_all()
                 future.set_exception(exc)
             else:
                 with self._lock:
@@ -322,7 +497,15 @@ class ExplainEngine:
                                              track=False)
             if not prepared:
                 return resolved
-            resolved += self._run_prepared(prepared)
+            try:
+                resolved += self._run_prepared(prepared)
+            except BaseException:
+                # Earlier rounds' counts must survive the raise (the
+                # failing round banked its own partial); the next
+                # drain() pays them out.
+                with self._lock:
+                    self._async_resolved += resolved
+                raise
 
     def _flush_ready(self, method: str) -> int:
         """Synchronously run only the queues of ``method`` that hit
@@ -333,7 +516,9 @@ class ExplainEngine:
 
     def _run_prepared(self, prepared) -> int:
         """Launch prepared batches and block until all resolve; the
-        first failure is re-raised after the round completes."""
+        first failure is re-raised after the round completes.  On a
+        failure the successful batches' handle counts are banked for
+        the next ``drain()`` rather than discarded."""
         for future, queue_key, requests in prepared:
             self._launch(future, queue_key, requests)
         resolved = 0
@@ -345,6 +530,8 @@ class ExplainEngine:
                 if error is None:
                     error = exc
         if error is not None:
+            with self._lock:
+                self._async_resolved += resolved
             raise error
         return resolved
 
@@ -353,26 +540,113 @@ class ExplainEngine:
         all queues.  Returns the number of handles resolved.  A batch
         failure is re-raised (its requests stay queued for a retry);
         call ``drain()`` again to retry.
+
+        When a failure re-raises, the handle counts of the batches that
+        *did* resolve this call are banked into ``_async_resolved`` —
+        not discarded — so a retry drain's return value reports the
+        true total instead of silently under-counting.
         """
         resolved = 0
-        while True:
+        try:
+            while True:
+                with self._lock:
+                    futures, self._inflight = self._inflight, []
+                    resolved += self._async_resolved
+                    self._async_resolved = 0
+                for i, future in enumerate(futures):
+                    try:
+                        resolved += future.result()
+                    except BaseException:
+                        with self._lock:
+                            stale = self._failure_is_stale(future)
+                            if not stale:
+                                self._inflight.extend(futures[i + 1:])
+                        if stale:
+                            continue   # a retry already resolved it all
+                        raise
+                resolved += self.flush()
+                with self._lock:
+                    idle = (not self._inflight
+                            and self._scheduler.pending_count() == 0)
+                if idle:
+                    return resolved
+        except BaseException:
             with self._lock:
-                futures, self._inflight = self._inflight, []
-                resolved += self._async_resolved
-                self._async_resolved = 0
-            for i, future in enumerate(futures):
-                try:
-                    resolved += future.result()
-                except BaseException:
-                    with self._lock:
-                        self._inflight.extend(futures[i + 1:])
-                    raise
-            resolved += self.flush()
-            with self._lock:
-                idle = (not self._inflight
-                        and self._scheduler.pending_count() == 0)
-            if idle:
-                return resolved
+                self._async_resolved += resolved
+            raise
+
+    # ------------------------------------------------------------------
+    def _block_for_admission(self) -> None:
+        """Wait (holding the admission condition) until the unresolved
+        count drops below ``max_pending``.
+
+        Called with the engine lock held; ``wait`` releases it so batch
+        completions can decrement and notify.  When nothing is in
+        flight to free room — a serial executor, or ``max_pending``
+        below every queue's flush point — the blocked submit itself
+        dispatches queued work, so blocking always makes progress
+        instead of deadlocking.  Ready queues (full or past deadline)
+        go first; only if none exists are partial queues force-flushed,
+        so engaging backpressure doesn't needlessly break other
+        producers' accumulating micro-batches.  If the pending work
+        keeps *failing* (its batches requeue forever), a failure is
+        retried once by this loop's own dispatch; only a failure that
+        survives that retry — or one with nothing left to retry —
+        raises :class:`EngineOverloaded` (with the batch failure as
+        ``__cause__``) rather than spinning: backpressure that can
+        never drain is an error the producer must see, delivered in
+        the admission contract's own type.  A transient failure
+        recovers transparently.
+        """
+        self.admission_blocked += 1
+        start = time.monotonic()
+        retried_failure = False
+        try:
+            while self._unresolved >= self.max_pending:
+                if not any(not f.done() for f in self._inflight):
+                    failed: Optional[Future] = None
+                    for f in list(self._inflight):
+                        if f.done() and f.exception() is not None:
+                            if self._failure_is_stale(f):
+                                self._inflight.remove(f)
+                            elif failed is None:
+                                failed = f
+                    pending = self._scheduler.pending_count()
+                    if failed is not None and (retried_failure
+                                               or not pending):
+                        raise EngineOverloaded(
+                            "backpressure cannot drain: pending work "
+                            "keeps failing (see __cause__); its "
+                            "requests stay queued for a retry"
+                        ) from failed.exception()
+                    if pending:
+                        prepared = self._pop_and_prepare(
+                            None, ready_only=True, track=True)
+                        if not prepared:
+                            prepared = self._pop_and_prepare(
+                                None, ready_only=False, track=True)
+                        # Launch without the engine lock (the popped
+                        # batches are already owned via their futures):
+                        # a SerialExecutor runs the batch inline, and
+                        # holding the lock across its method-lock wait
+                        # and compute would convoy every other producer
+                        # behind this one dispatch.  The lock is held
+                        # exactly once here (public submit entry), so
+                        # the release/acquire pair is balanced.
+                        self._lock.release()
+                        try:
+                            for future, queue_key, requests in prepared:
+                                self._launch(future, queue_key, requests)
+                        finally:
+                            self._lock.acquire()
+                        # Dispatching with a failure outstanding IS the
+                        # retry; a second failure after it raises.
+                        retried_failure = failed is not None
+                        continue
+                self._admission.wait(timeout=0.05)
+        finally:
+            self.admission_blocked_ms += (time.monotonic()
+                                          - start) * 1000.0
 
     # ------------------------------------------------------------------
     def _submit(self, image: np.ndarray, label: int, method: str,
@@ -397,7 +671,7 @@ class ExplainEngine:
         # allocation-free; a caller reusing its buffer never changes
         # what a queued request (or the cache) sees.
         handle = PendingExplain(self, method)
-        with self._lock:
+        with self._admission:              # the engine lock, waitable
             # Re-probe under the lock: the request's twin may have
             # completed (cache insert + in-flight retirement share this
             # lock) between the unlocked probe above and here.  peek()
@@ -407,8 +681,32 @@ class ExplainEngine:
                 self.requests_served += 1
                 return PendingExplain(self, method, cache_hit=True,
                                       _result=cached)
+            queue_key: QueueKey = (method, tuple(image.shape))
+            if (dispatch_async and self.max_pending is not None
+                    and self._scheduler.lookup(queue_key, key) is None
+                    and self._unresolved >= self.max_pending):
+                # Admission control gates only *new unique* async work:
+                # dedup attaches and cache hits never add compute, and
+                # the sync path flushes inline, so it self-limits.
+                if self.admission_policy == "reject":
+                    self.admission_rejected += 1
+                    raise EngineOverloaded(
+                        f"engine holds {self._unresolved} unresolved "
+                        f"requests (max_pending={self.max_pending}); "
+                        "rejected by admission policy")
+                self._block_for_admission()
+                cached = self.cache.peek(key)  # twin may have finished
+                if cached is not None:
+                    self.requests_served += 1
+                    return PendingExplain(self, method, cache_hit=True,
+                                          _result=cached)
             request, _deduped, ready = self._scheduler.enqueue(
                 method, image, int(label), target_label, key, handle)
+            if not _deduped and dispatch_async:
+                # Only async ingestion occupies the admission budget:
+                # sync submits flush inline and are self-limiting.
+                self._unresolved += 1
+                request.counted = True
             handle._request = request
         if ready:
             if dispatch_async:
@@ -429,8 +727,11 @@ class ExplainEngine:
                     # can resolve.
                     with self._lock:
                         if (handle._result is None
-                                and len(request.handles) == 1):
-                            self._scheduler.discard(request)
+                                and len(request.handles) == 1
+                                and self._scheduler.discard(request)
+                                and request.counted):
+                            self._unresolved -= 1
+                            self._admission.notify_all()
                     raise
         return handle
 
@@ -451,6 +752,12 @@ class ExplainEngine:
         """Non-blocking submit: a full queue is handed to the executor
         without waiting for it to run.  Resolve via ``handle.result()``
         (waits on the in-flight batch) or a final :meth:`drain`.
+
+        On a ``max_pending`` engine this path is admission-controlled:
+        a submit that would add unique work beyond the bound blocks
+        until batches complete (``policy="block"``) or raises
+        :class:`EngineOverloaded` (``policy="reject"``).  Cache hits
+        and dedup attaches are always admitted.
         """
         return self._submit(image, label, method, target_label,
                             dispatch_async=True)
@@ -466,11 +773,26 @@ class ExplainEngine:
                       ) -> List[SaliencyResult]:
         """Cache-aware batched path: only cache misses hit the models,
         and duplicate images inside the batch are computed once (their
-        handles share one queued request)."""
+        handles share one queued request).
+
+        On a ``max_pending`` engine, ingestion runs through
+        ``submit_async`` — the admission-controlled path — so a sweep
+        over a huge sample set holds bounded work in memory (full
+        micro-batches stream to the executor while later images are
+        still being submitted).  Under ``policy="reject"`` an overload
+        therefore raises :class:`EngineOverloaded` out of this call;
+        already-submitted handles stay queued and resolvable.  Without
+        ``max_pending`` the sweep uses the synchronous path, whose
+        inline auto-flushes keep at most one full micro-batch queued
+        per shape — async ingestion with no bound would instead pile
+        every pending request copy into the executor's queue.
+        """
+        submit = (self.submit_async if self.max_pending is not None
+                  else self.submit)
         handles = [
-            self.submit(images[i], int(labels[i]), method,
-                        None if target_labels is None
-                        else int(target_labels[i]))
+            submit(images[i], int(labels[i]), method,
+                   None if target_labels is None
+                   else int(target_labels[i]))
             for i in range(len(images))
         ]
         self.flush(method)

@@ -13,6 +13,10 @@ The scheduler owns the pending-request state of the engine runtime:
   fans out to every attached handle.  Duplicate-heavy traffic (and
   duplicate images inside one synchronous ``explain_batch``) therefore
   cost one explainer pass per unique request.
+* **Adaptive micro-batching** — with ``min_batch`` set, every queue
+  carries its own flush limit that ramps between ``min_batch`` and
+  ``max_batch`` from the observed per-map latency of its recent batches
+  (see :class:`MicroBatchScheduler`).
 
 The scheduler is *externally synchronized*: the engine calls every
 mutating method under its own lock.  Keeping the lock out of this class
@@ -46,6 +50,10 @@ class ExplainRequest:
     enqueued_at: float = field(default_factory=time.monotonic)
     #: Set while a dispatched batch containing this request is running.
     future: Optional[object] = None
+    #: True when this request occupies an admission slot (it was
+    #: ingested through the bounded async path); sync submits are
+    #: self-limiting and never consume the ``max_pending`` budget.
+    counted: bool = False
 
 
 class MicroBatchScheduler:
@@ -55,20 +63,76 @@ class MicroBatchScheduler:
     never grows a micro-batch.  ``max_delay_ms`` bounds how long the
     oldest queued request of a queue may wait before :meth:`enqueue`
     reports the queue ready (``None`` disables the deadline).
+
+    **Adaptive micro-batching** — with ``min_batch`` set, the flush
+    threshold is no longer one global knob: each ``(method, shape)``
+    queue carries its own limit that ramps between ``min_batch`` and
+    ``max_batch`` from the observed per-map latency of its recent
+    batches (:meth:`observe`, an EWMA).  A queue's limit targets
+    ``target_batch_ms`` of compute per batch: cheap methods (occlusion,
+    CAE) ramp wide and amortise dispatch overhead, while an expensive
+    method (StyLEx, ~1000x a CAE map) settles at small batches so one
+    flush never holds its handles — or a worker — for seconds.  Limits
+    ramp *up* by at most doubling per observed batch (a single lucky
+    timing can't over-commit the next flush) and clamp *down*
+    immediately (tail latency recovers within one batch).
     """
 
     def __init__(self, max_batch: int = 16,
-                 max_delay_ms: Optional[float] = None):
+                 max_delay_ms: Optional[float] = None,
+                 min_batch: Optional[int] = None,
+                 target_batch_ms: float = 200.0):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if min_batch is not None and not 1 <= min_batch <= max_batch:
+            raise ValueError("min_batch must satisfy "
+                             "1 <= min_batch <= max_batch")
+        if target_batch_ms <= 0:
+            raise ValueError("target_batch_ms must be > 0")
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
+        self.min_batch = min_batch
+        self.target_batch_ms = target_batch_ms
+        self.adaptive = min_batch is not None
         self._queues: Dict[QueueKey, List[ExplainRequest]] = {}
         self._by_key: Dict[QueueKey, Dict[CacheKey, ExplainRequest]] = {}
         #: key -> request for batches popped but not yet completed, so
         #: duplicates arriving while their twin computes still dedup.
         self._inflight: Dict[QueueKey, Dict[CacheKey, ExplainRequest]] = {}
+        #: Adaptive state: per-queue flush limit and per-map ms EWMA.
+        self._limits: Dict[QueueKey, int] = {}
+        self._ewma_ms: Dict[QueueKey, float] = {}
         self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    def batch_limit(self, queue_key: QueueKey) -> int:
+        """Current flush threshold of one queue (``max_batch`` when the
+        scheduler is static; ramps from ``min_batch`` when adaptive)."""
+        if not self.adaptive:
+            return self.max_batch
+        return self._limits.get(queue_key, self.min_batch)
+
+    def batch_limits(self) -> Dict[str, int]:
+        """JSON-friendly ``"method@HxW" -> limit`` snapshot (queues that
+        have been observed at least once; others sit at the default)."""
+        return {f"{m}@{'x'.join(str(d) for d in shape)}": limit
+                for (m, shape), limit in sorted(self._limits.items())}
+
+    def observe(self, queue_key: QueueKey, batch_ms: float,
+                batch_size: int) -> None:
+        """Feed one completed batch's wall time back into the queue's
+        adaptive limit (no-op for a static scheduler)."""
+        if not self.adaptive or batch_size < 1:
+            return
+        per_map = batch_ms / batch_size
+        prev = self._ewma_ms.get(queue_key)
+        ewma = per_map if prev is None else 0.5 * prev + 0.5 * per_map
+        self._ewma_ms[queue_key] = ewma
+        desired = int(self.target_batch_ms / max(ewma, 1e-6))
+        limit = self.batch_limit(queue_key)
+        ramped = min(desired, limit * 2)           # up: at most double
+        self._limits[queue_key] = max(self.min_batch,
+                                      min(ramped, self.max_batch))
 
     # ------------------------------------------------------------------
     def _deadline_hit(self, queue: List[ExplainRequest]) -> bool:
@@ -76,8 +140,10 @@ class MicroBatchScheduler:
                 and (time.monotonic() - queue[0].enqueued_at) * 1000.0
                 >= self.max_delay_ms)
 
-    def _ready(self, queue: List[ExplainRequest]) -> bool:
-        return len(queue) >= self.max_batch or self._deadline_hit(queue)
+    def _ready(self, queue_key: QueueKey,
+               queue: List[ExplainRequest]) -> bool:
+        return (len(queue) >= self.batch_limit(queue_key)
+                or self._deadline_hit(queue))
 
     # ------------------------------------------------------------------
     def enqueue(self, method: str, image: np.ndarray, label: int,
@@ -97,9 +163,7 @@ class MicroBatchScheduler:
         queue_key: QueueKey = (method, tuple(image.shape))
         queue = self._queues.setdefault(queue_key, [])
         bucket = self._by_key.setdefault(queue_key, {})
-        request = bucket.get(key)
-        if request is None:
-            request = self._inflight.get(queue_key, {}).get(key)
+        request = self.lookup(queue_key, key)
         if request is not None:
             request.handles.append(handle)
             self.dedup_hits += 1
@@ -111,7 +175,17 @@ class MicroBatchScheduler:
             queue.append(request)
             bucket[key] = request
             deduped = False
-        return request, deduped, self._ready(queue)
+        return request, deduped, self._ready(queue_key, queue)
+
+    def lookup(self, queue_key: QueueKey,
+               key: CacheKey) -> Optional[ExplainRequest]:
+        """The queued-or-in-flight request a submit of ``key`` would
+        dedup onto, or ``None`` (the admission controller probes this
+        before deciding whether a submit adds unique work)."""
+        request = self._by_key.get(queue_key, {}).get(key)
+        if request is None:
+            request = self._inflight.get(queue_key, {}).get(key)
+        return request
 
     def discard(self, request: ExplainRequest) -> bool:
         """Drop a still-queued request (submit-failure cleanup)."""
@@ -125,7 +199,7 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     def _pop_chunk(self, queue_key: QueueKey) -> List[ExplainRequest]:
         queue = self._queues[queue_key]
-        chunk = queue[:self.max_batch]
+        chunk = queue[:self.batch_limit(queue_key)]
         del queue[:len(chunk)]
         bucket = self._by_key[queue_key]
         inflight = self._inflight.setdefault(queue_key, {})
@@ -166,32 +240,38 @@ class MicroBatchScheduler:
         for queue_key in list(self._queues):
             if method is not None and queue_key[0] != method:
                 continue
-            while self._ready(self._queues[queue_key]):
+            while self._ready(queue_key, self._queues[queue_key]):
                 batches.append((queue_key, self._pop_chunk(queue_key)))
         return batches
 
     def requeue_front(self, queue_key: QueueKey,
-                      requests: List[ExplainRequest]) -> None:
+                      requests: List[ExplainRequest]
+                      ) -> List[ExplainRequest]:
         """Put a failed batch back at the queue front for a retry.
 
         A duplicate of a failed request may have been enqueued while the
         batch ran; its handles are merged onto the requeued request so
-        no handle is ever split across two computations.
+        no handle is ever split across two computations.  Returns the
+        requests that merged away (unique pending work shrank by them —
+        the engine's admission accounting needs to settle their slots).
         """
         queue = self._queues.setdefault(queue_key, [])
         bucket = self._by_key.setdefault(queue_key, {})
         inflight = self._inflight.get(queue_key, {})
         keep = []
+        merged = []
         for request in requests:
             inflight.pop(request.key, None)
             newer = bucket.get(request.key)
             if newer is not None:
                 newer.handles.extend(request.handles)
                 self.dedup_hits += 1
+                merged.append(request)
             else:
                 bucket[request.key] = request
                 keep.append(request)
         queue[0:0] = keep
+        return merged
 
     # ------------------------------------------------------------------
     def pending_count(self, method: Optional[str] = None) -> int:
@@ -200,9 +280,22 @@ class MicroBatchScheduler:
                    if method is None or key[0] == method)
 
     def pending_handles(self, method: Optional[str] = None) -> int:
-        """Unresolved handles attached to queued requests."""
-        return sum(len(r.handles) for key, q in self._queues.items()
-                   if method is None or key[0] == method for r in q)
+        """Unresolved handles attached to queued **or in-flight**
+        requests.
+
+        Requests popped into a running batch stay in the in-flight dedup
+        map until :meth:`mark_complete` retires them in the same
+        critical section that resolves their handles — so every handle
+        is counted here exactly until the moment it is done, and
+        dashboards never watch handles vanish mid-flight.
+        """
+        queued = sum(len(r.handles) for key, q in self._queues.items()
+                     if method is None or key[0] == method for r in q)
+        inflight = sum(len(r.handles)
+                       for key, bucket in self._inflight.items()
+                       if method is None or key[0] == method
+                       for r in bucket.values())
+        return queued + inflight
 
     def queue_keys(self) -> List[QueueKey]:
         return [key for key, q in self._queues.items() if q]

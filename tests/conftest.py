@@ -7,6 +7,9 @@ still exercising real training dynamics.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -14,9 +17,66 @@ from repro.config import ReproConfig
 from repro.classifiers import SmallResNet, train_classifier
 from repro.core import CAEModel, train_cae
 from repro.data import make_dataset
+from repro.explain.base import Explainer, SaliencyResult
 
 
 TINY_SIZE = 16
+
+
+class StubExplainer(Explainer):
+    """Deterministic stub for serving-runtime tests: returns zero maps,
+    counts the maps it computes, optionally sleeping ``sleep_ms`` per
+    map to simulate a method of known cost.  Import it (and the
+    variants below) with ``from conftest import StubExplainer``."""
+
+    name = "stub"
+    needs_gradients = False
+
+    def __init__(self, sleep_ms: float = 0.0):
+        self.sleep_ms = sleep_ms
+        self.computed = 0
+
+    def explain_batch(self, images, labels, target_labels=None):
+        if self.sleep_ms:
+            time.sleep(self.sleep_ms * len(images) / 1000.0)
+        self.computed += len(images)
+        return [SaliencyResult(np.zeros(images.shape[2:]), int(y))
+                for y in labels]
+
+
+class GatedExplainer(StubExplainer):
+    """Stub whose batches park on ``release`` until the test sets it;
+    ``entered`` signals that a batch reached the explainer."""
+
+    name = "gated"
+
+    def __init__(self):
+        super().__init__()
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def explain_batch(self, images, labels, target_labels=None):
+        self.entered.set()
+        assert self.release.wait(timeout=10)
+        return super().explain_batch(images, labels, target_labels)
+
+
+class FlakyExplainer(StubExplainer):
+    """Stub whose first ``failures`` batches raise a transient error
+    (``failures=None``: every batch fails); ``calls`` counts batches."""
+
+    name = "flaky"
+
+    def __init__(self, failures: int | None = 1):
+        super().__init__()
+        self.failures = failures
+        self.calls = 0
+
+    def explain_batch(self, images, labels, target_labels=None):
+        self.calls += 1
+        if self.failures is None or self.calls <= self.failures:
+            raise RuntimeError("transient backend failure")
+        return super().explain_batch(images, labels, target_labels)
 
 
 def numeric_grad(f, x, eps=1e-6):

@@ -7,6 +7,7 @@ import zlib
 
 import numpy as np
 import pytest
+from conftest import FlakyExplainer, GatedExplainer, StubExplainer
 
 from repro import nn
 from repro.explain import GradCAMExplainer, OcclusionExplainer
@@ -331,6 +332,92 @@ class TestExecutors:
 
     def test_drain_empty_engine_is_noop(self, engine):
         assert engine.drain() == 0
+
+
+def _img(i: int) -> np.ndarray:
+    return np.full((1, 4, 4), float(i), dtype=np.float32)
+
+
+class TestEngineLifecycle:
+    def test_close_drains_queued_requests(self):
+        """``close()`` must resolve still-queued async requests instead
+        of shutting the executor down under them (which silently
+        stranded their handles)."""
+        engine = ExplainEngine(None, {"instant": StubExplainer()}, max_batch=8,
+                               executor="threaded")
+        handles = [engine.submit_async(_img(i), 0, "instant")
+                   for i in range(3)]          # below max_batch: queued
+        assert engine.pending_count() == 3
+        engine.close()
+        assert all(h.done for h in handles)
+        assert engine.pending_count() == 0
+
+    def test_close_drains_inflight_batches(self):
+        parked = GatedExplainer()
+        engine = ExplainEngine(None, {"parked": parked}, max_batch=1,
+                               executor="threaded")
+        handle = engine.submit_async(_img(0), 0, "parked")
+        assert parked.entered.wait(timeout=5)
+        parked.release.set()
+        engine.close()
+        assert handle.done
+        assert handle.result().label == 0
+
+    def test_close_retries_once_then_raises_on_persistent_failure(self):
+        broken = FlakyExplainer(failures=None)     # every batch fails
+        engine = ExplainEngine(None, {"broken": broken}, max_batch=8)
+        engine.submit_async(_img(0), 0, "broken")
+        with pytest.raises(RuntimeError, match="backend failure"):
+            engine.close()
+        assert broken.calls == 2               # initial drain + one retry
+        engine.close()                         # idempotent: no re-drain
+        assert broken.calls == 2
+
+    def test_close_after_transient_failure_resolves_on_retry(self):
+        engine = ExplainEngine(None, {"flaky": FlakyExplainer()}, max_batch=8)
+        handle = engine.submit_async(_img(0), 0, "flaky")
+        engine.close()                         # retry drain resolves it
+        assert handle.result().label == 0
+
+
+class TestDrainAccounting:
+    def test_retry_drain_reports_banked_successes(self):
+        """A drain that re-raises must bank the handle counts of the
+        batches that *did* resolve, so drain-after-retry reports the
+        true total instead of losing them."""
+        engine = ExplainEngine(None,
+                               {"good": StubExplainer(),
+                                "flaky": FlakyExplainer()},
+                               max_batch=1)
+        engine.submit_async(_img(0), 0, "good")     # dispatches, succeeds
+        engine.submit_async(_img(1), 0, "flaky")    # dispatches, fails
+        with pytest.raises(RuntimeError, match="transient"):
+            engine.drain()
+        # The successful batch's count was banked, not discarded: the
+        # retry drain reports both handles.
+        assert engine.drain() == 2
+        assert engine.stats()["requests_served"] == 2
+
+
+class TestPendingHandleConservation:
+    def test_inflight_handles_stay_visible(self):
+        """Handles attached to a running batch must not vanish from
+        ``stats()['pending_handles']`` mid-flight: every submitted
+        handle is pending until the moment it resolves."""
+        parked = GatedExplainer()
+        engine = ExplainEngine(None, {"parked": parked}, max_batch=1,
+                               executor="threaded")
+        with engine:
+            engine.submit_async(_img(0), 0, "parked")
+            assert parked.entered.wait(timeout=5)     # batch in flight
+            engine.submit_async(_img(0), 0, "parked")  # dedups onto it
+            stats = engine.stats()
+            assert stats["pending"] == 0               # queue is empty
+            assert stats["pending_handles"] == 2       # but both visible
+            parked.release.set()
+            assert engine.drain() == 2
+            assert engine.stats()["pending_handles"] == 0
+            assert engine.stats()["requests_served"] == 2
 
 
 class TestThreadSafetySubstrate:
