@@ -7,9 +7,14 @@ root:
 * **Mixed-method throughput** — N distinct requests round-robin over a
   mixed gradient/perturbation method set, submitted via
   ``submit_async`` and resolved with ``drain()``; requests/sec for the
-  ``SerialExecutor`` vs the ``ThreadedExecutor``.  The threaded speedup
-  is hardware-bound (batches overlap only where BLAS releases the GIL
-  across real cores), so ``cpu_count`` is recorded next to it.
+  ``SerialExecutor`` vs the ``ThreadedExecutor`` vs the
+  ``ProcessExecutor`` (persistent worker processes materializing the
+  same model spec).  Executor speedups are hardware-bound (threads
+  overlap only where BLAS releases the GIL; processes sidestep the GIL
+  but pay pipe serialization), so ``cpu_count`` is recorded next to
+  them.  ``--executor`` selects a subset — CI runs a dedicated
+  ``--executor process`` smoke so pool startup *and* shutdown are
+  exercised on every push.
 * **Duplicate-heavy dedup** — U unique images requested R times each
   through one method; the run *verifies* via ``stats()`` counters that
   each unique request was computed exactly once (``cache_inserts ==
@@ -34,11 +39,9 @@ import time
 
 import numpy as np
 
-from repro.classifiers import SmallResNet
 from repro.data import make_dataset
-from repro.explain import (FullGradExplainer, GradCAMExplainer,
-                           OcclusionExplainer, SimpleFullGradExplainer)
-from repro.serve import ExplainEngine, ShardedSaliencyCache, ThreadedExecutor
+from repro.serve import (EngineSpec, ExplainEngine, ProcessExecutor,
+                         ShardedSaliencyCache, ThreadedExecutor, demo_spec)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_serve.json")
@@ -46,31 +49,46 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_serve.json")
 IMAGE_SIZE = 16
 WIDTH = 8
 
+EXECUTORS = ("serial", "threaded", "process")
 
-def build_engine(classifier, executor, max_batch: int = 8,
-                 cache_size: int = 512, shards: int = 4) -> ExplainEngine:
+MIXED_METHODS = ("gradcam", "fullgrad", "simple_fullgrad", "occlusion")
+
+
+def serve_spec(num_classes: int, in_channels: int) -> EngineSpec:
+    """The mixed-method model recipe: the parent engine and every
+    ``ProcessExecutor`` worker materialize bit-identical replicas from
+    this one spec (seeded untrained init is deterministic)."""
+    return demo_spec(MIXED_METHODS, num_classes=num_classes,
+                     in_channels=in_channels, width=WIDTH)
+
+
+def build_engine(num_classes: int, in_channels: int, executor,
+                 max_batch: int = 8, cache_size: int = 512,
+                 shards: int = 4) -> ExplainEngine:
     """Fresh engine (cold cache) over the mixed method set."""
+    classifier, explainers = serve_spec(num_classes,
+                                        in_channels).materialize()
     return ExplainEngine(
-        classifier,
-        {"gradcam": GradCAMExplainer(classifier),
-         "fullgrad": FullGradExplainer(classifier),
-         "simple_fullgrad": SimpleFullGradExplainer(classifier),
-         "occlusion": OcclusionExplainer(classifier, window=4, stride=2)},
+        classifier, explainers,
         max_batch=max_batch, cache_size=cache_size, cache_shards=shards,
         executor=executor)
 
 
-def throughput(classifier, images, labels, make_executor_fn,
+def throughput(num_classes, in_channels, images, labels, make_executor_fn,
                repeats: int) -> float:
     """Best-of-``repeats`` requests/sec for one executor flavour.
 
     ``make_executor_fn`` builds a fresh executor per repeat (each
-    engine's ``close()`` shuts its executor down).
+    engine's ``close()`` shuts its executor down — for the process
+    pool that exercises the full startup *and* orphan-free shutdown
+    path every repeat).  Pool startup happens before the clock starts:
+    the pool is persistent, so steady-state request throughput is the
+    metric.
     """
-    methods = ("gradcam", "fullgrad", "simple_fullgrad", "occlusion")
+    methods = MIXED_METHODS
     best = 0.0
     for _ in range(repeats):
-        engine = build_engine(classifier, make_executor_fn())
+        engine = build_engine(num_classes, in_channels, make_executor_fn())
         try:
             start = time.perf_counter()
             handles = [
@@ -97,6 +115,7 @@ def dedup_workload(classifier, images, labels, unique: int,
     ``unique`` maps must have been computed for ``unique * repeats``
     requests.
     """
+    from repro.explain import GradCAMExplainer
     from repro.explain.base import Explainer
 
     inner = GradCAMExplainer(classifier)
@@ -176,6 +195,11 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int,
                         default=max(2, min(4, os.cpu_count() or 1)))
+    parser.add_argument("--executor", nargs="+", choices=EXECUTORS,
+                        default=list(EXECUTORS),
+                        help="throughput flavours to run (results merge "
+                        "into the label, so partial runs compose; the "
+                        "dedup/shard sections ride with 'serial')")
     args = parser.parse_args()
 
     dataset = make_dataset("brain_tumor1", "train", image_size=IMAGE_SIZE,
@@ -183,31 +207,23 @@ def main() -> None:
                                            1: args.requests})
     images = dataset.images[:args.requests]
     labels = dataset.labels[:args.requests]
-    classifier = SmallResNet(dataset.num_classes, dataset.image_shape[0],
-                             width=WIDTH, seed=0)
-    classifier.eval()
+    num_classes = dataset.num_classes
+    in_channels = dataset.image_shape[0]
+    classifier, _ = serve_spec(num_classes, in_channels).materialize()
 
-    serial_rps = throughput(classifier, images, labels, lambda: "serial",
-                            args.repeats)
-    threaded_rps = throughput(
-        classifier, images, labels,
-        lambda: ThreadedExecutor(workers=args.workers), args.repeats)
-    speedup = threaded_rps / serial_rps if serial_rps else float("inf")
-    print(f"mixed workload ({args.requests} reqs, 4 methods): "
-          f"serial {serial_rps:7.1f} req/s   threaded {threaded_rps:7.1f} "
-          f"req/s   ({speedup:.2f}x, {os.cpu_count()} cpu)")
-
-    dedup = dedup_workload(classifier, images, labels,
-                           unique=min(8, args.requests), repeats=4)
-    print(f"dedup workload: {dedup['total_requests']} requests -> "
-          f"{dedup['computed']} computed (exactly once per unique), "
-          f"{dedup['dedup_fanouts']} dedup fan-outs + "
-          f"{dedup['cache_hits']} cache hits "
-          f"({dedup['dedup_hit_rate']:.0%} duplicate traffic absorbed)")
-
-    balance = shard_balance()
-    print(f"shard balance (routed keys): {balance['routed_per_shard']} "
-          f"(max/mean {balance['imbalance_max_over_mean']:.2f})")
+    make_executor_fns = {
+        "serial": lambda: "serial",
+        "threaded": lambda: ThreadedExecutor(workers=args.workers),
+        "process": lambda: ProcessExecutor(
+            serve_spec(num_classes, in_channels), workers=args.workers),
+    }
+    rps = {}
+    for flavour in args.executor:
+        rps[flavour] = throughput(num_classes, in_channels, images, labels,
+                                  make_executor_fns[flavour], args.repeats)
+        print(f"mixed workload ({args.requests} reqs, 4 methods): "
+              f"{flavour:8s} {rps[flavour]:7.1f} req/s "
+              f"({os.cpu_count()} cpu, {args.workers} workers)")
 
     doc = {}
     if os.path.exists(args.out):
@@ -215,17 +231,39 @@ def main() -> None:
             doc = json.load(fh)
     # Merge into the label's entry rather than replacing it, so the
     # `admission` section bench_admission.py writes for the same label
-    # survives a rerun of this script (and vice versa).
+    # — and the rps keys of flavours run by a previous partial
+    # invocation (CI's dedicated `--executor process` smoke) — survive.
     entry = doc.setdefault(args.label, {})
+    entry.update({f"{flavour}_rps": round(value, 2)
+                  for flavour, value in rps.items()})
+
+    if "serial" in args.executor:
+        dedup = dedup_workload(classifier, images, labels,
+                               unique=min(8, args.requests), repeats=4)
+        print(f"dedup workload: {dedup['total_requests']} requests -> "
+              f"{dedup['computed']} computed (exactly once per unique), "
+              f"{dedup['dedup_fanouts']} dedup fan-outs + "
+              f"{dedup['cache_hits']} cache hits "
+              f"({dedup['dedup_hit_rate']:.0%} duplicate traffic absorbed)")
+        balance = shard_balance()
+        print(f"shard balance (routed keys): {balance['routed_per_shard']} "
+              f"(max/mean {balance['imbalance_max_over_mean']:.2f})")
+        entry["dedup"] = dedup
+        entry["shard_balance"] = balance
+
+    # Speedups derive from whatever the merged entry now holds, so a
+    # process-only rerun refreshes process_speedup against the stored
+    # serial baseline instead of dropping it.
+    serial_rps = entry.get("serial_rps")
+    for flavour in ("threaded", "process"):
+        flavour_rps = entry.get(f"{flavour}_rps")
+        if serial_rps and flavour_rps:
+            entry[f"{flavour}_speedup"] = round(flavour_rps / serial_rps, 3)
+            print(f"{flavour} vs serial: {entry[f'{flavour}_speedup']:.2f}x")
     entry.update({
-        "serial_rps": round(serial_rps, 2),
-        "threaded_rps": round(threaded_rps, 2),
-        "threaded_speedup": round(speedup, 3),
-        "threaded_workers": args.workers,
+        "pool_workers": args.workers,
         "cpu_count": os.cpu_count(),
         "requests": args.requests,
-        "dedup": dedup,
-        "shard_balance": balance,
         "image_size": IMAGE_SIZE,
         "classifier_width": WIDTH,
         "python": platform.python_version(),

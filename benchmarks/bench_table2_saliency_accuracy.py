@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from common import (BENCH_DATASETS, N_EVAL_IMAGES, N_PATCHES, PATCH,
-                    format_table, get_context, write_result)
+                    engine_kwargs, format_table, get_context, write_result)
 
 from repro.eval import evaluate_methods
 from repro.explain import TABLE2_METHODS
@@ -27,7 +27,7 @@ def test_table2_dataset(dataset, benchmark):
     # serving runtime (micro-batching + sharded cache + dedup), so the
     # reproduction exercises the same code path that serves traffic and
     # repeat sweeps in one session reuse cached maps.
-    engine = ctx.engine(max_batch=N_EVAL_IMAGES)
+    engine = ctx.engine(max_batch=N_EVAL_IMAGES, **engine_kwargs())
     curves = evaluate_methods(None, ctx.classifier, images, labels,
                               n_patches=N_PATCHES, patch=PATCH,
                               engine=engine)

@@ -10,7 +10,7 @@ table reports two columns: classic per-image latency and the batched
 
 import pytest
 
-from common import format_table, get_context, write_result
+from common import engine_kwargs, format_table, get_context, write_result
 
 from repro.eval import time_all_methods_batched
 from repro.explain import TABLE2_METHODS
@@ -26,7 +26,7 @@ def test_table5_saliency_time(benchmark):
                                                 abnormal_only=True)
     # Engine-backed column: cost per map through the serving runtime
     # (cold cache), plus a warm re-sweep that should be ~pure cache.
-    engine = ctx.engine(max_batch=16)
+    engine = ctx.engine(max_batch=16, **engine_kwargs())
     times = time_all_methods_batched(suite.explainers, images, labels,
                                      engine=engine)
     from repro.eval import served_saliency_time_ms

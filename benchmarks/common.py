@@ -7,7 +7,10 @@ whole ``pytest benchmarks/ --benchmark-only`` run.  Result tables are
 printed and written under ``benchmarks/results/``.
 
 Scale knobs honour ``REPRO_BENCH_DIVISOR`` / ``REPRO_BENCH_ITER`` /
-``REPRO_BENCH_DATASETS`` environment variables for larger runs.
+``REPRO_BENCH_DATASETS`` environment variables for larger runs;
+``REPRO_SERVE_EXECUTOR`` / ``REPRO_SERVE_WORKERS`` pick the serving
+executor (``serial`` / ``threaded`` / ``process``) the engine-backed
+reproduction sweeps (Table II / Table V) run on.
 """
 
 from __future__ import annotations
@@ -52,6 +55,22 @@ N_PATCHES = 20
 def get_context(dataset: str) -> ExperimentContext:
     """Cached experiment context for one dataset."""
     return ExperimentContext(dataset, BENCH_SCALE, cache_dir=CACHE_DIR)
+
+
+def engine_kwargs() -> Dict[str, object]:
+    """Executor selection for the engine-backed sweeps, from the
+    ``REPRO_SERVE_EXECUTOR`` (serial | threaded | process) and
+    ``REPRO_SERVE_WORKERS`` environment variables — pass as
+    ``ctx.engine(..., **engine_kwargs())``.  Defaults to the serial
+    executor (deterministic, zero overhead)."""
+    kwargs: Dict[str, object] = {}
+    executor = os.environ.get("REPRO_SERVE_EXECUTOR")
+    if executor:
+        kwargs["executor"] = executor
+    workers = os.environ.get("REPRO_SERVE_WORKERS")
+    if workers:
+        kwargs["workers"] = int(workers)
+    return kwargs
 
 
 def write_result(name: str, text: str) -> None:

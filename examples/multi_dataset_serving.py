@@ -11,16 +11,27 @@ sets then shares one admission bound (``max_pending``), one cost-aware
 cache, and per-queue adaptive batch limits — and a 24x24 batch never
 stacks into a 16x16 one.
 
+Executor choice rides the same engine: ``--executor process`` serves
+the mixed traffic from persistent worker *processes* — the module-level
+:func:`build_multi_explainers` doubles as the worker-side
+:class:`~repro.serve.EngineSpec` factory, so every worker rebuilds both
+contexts' classifiers from the disk cache the first run populated.
+
 Usage::
 
     PYTHONPATH=src python examples/multi_dataset_serving.py
+    PYTHONPATH=src python examples/multi_dataset_serving.py \
+        --executor process --workers 2
 """
+
+import argparse
 
 import numpy as np
 
 from repro.eval.pipeline import ExperimentContext, ExperimentScale
 from repro.explain import GradCAMExplainer, OcclusionExplainer
-from repro.serve import ExplainEngine
+from repro.serve import (EngineSpec, ExplainEngine, ProcessExecutor,
+                         ThreadedExecutor)
 
 
 def smoke_scale(image_size: int) -> ExperimentScale:
@@ -30,31 +41,66 @@ def smoke_scale(image_size: int) -> ExperimentScale:
                            min_train_per_class=24, min_test_per_class=8)
 
 
-def main() -> None:
-    contexts = {
+def make_contexts() -> dict:
+    return {
         "brain": ExperimentContext("brain_tumor1", scale=smoke_scale(16)),
         "chest": ExperimentContext("chest_xray", scale=smoke_scale(24)),
     }
+
+
+def build_multi_explainers(contexts: dict = None) -> dict:
+    """Namespaced explainers over both deployments' classifiers.
+
+    Module-level on purpose: it is also the :class:`EngineSpec` factory
+    for ``--executor process``, so each worker process materializes the
+    same two classifiers (loaded from the shared ``.repro_cache``) and
+    serves ``brain:*`` and ``chest:*`` batches interchangeably.  The
+    parent passes its already-built contexts; workers (calling with no
+    arguments) rebuild their own.
+    """
+    explainers = {}
+    for tag, ctx in (contexts or make_contexts()).items():
+        clf = ctx.classifier
+        explainers[f"{tag}:gradcam"] = GradCAMExplainer(clf)
+        explainers[f"{tag}:occlusion"] = OcclusionExplainer(
+            clf, window=4, stride=2)
+    return explainers
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--executor", default="threaded",
+                        choices=("serial", "threaded", "process"))
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    contexts = make_contexts()
+    # Warm the disk cache before any worker process could need it.
+    for tag, ctx in contexts.items():
+        print(f"preparing {tag} context "
+              f"({ctx.scale.image_size}x{ctx.scale.image_size}) ...")
+        ctx.classifier
 
     # One engine, two deployments: each context contributes its own
     # trained classifier's explainers under namespaced method names.
     # (The engine's classifier slot goes unused — explainers hold their
     # own models — so a multi-model engine passes None.)
-    explainers = {}
-    for tag, ctx in contexts.items():
-        print(f"preparing {tag} context "
-              f"({ctx.scale.image_size}x{ctx.scale.image_size}) ...")
-        clf = ctx.classifier
-        explainers[f"{tag}:gradcam"] = GradCAMExplainer(clf)
-        explainers[f"{tag}:occlusion"] = OcclusionExplainer(
-            clf, window=4, stride=2)
+    explainers = build_multi_explainers(contexts)
+    if args.executor == "process":
+        executor = ProcessExecutor(EngineSpec(build_multi_explainers),
+                                   workers=args.workers)
+    elif args.executor == "threaded":
+        executor = ThreadedExecutor(workers=args.workers)
+    else:
+        executor = "serial"
 
     engine = ExplainEngine(
         None, explainers,
         max_batch=16, min_batch=2, target_batch_ms=100.0,  # adaptive
         cache_size=256, cache_shards=4, eviction="cost",
         max_pending=32, policy="block",                    # backpressure
-        executor="threaded")
+        executor=executor)
+    print(f"serving on executor={engine.stats()['executor']}")
 
     # Interleave async traffic from both deployments: requests from the
     # two image sizes land on independent shape-keyed queues, while the

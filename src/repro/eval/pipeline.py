@@ -188,6 +188,26 @@ class ExperimentContext:
         return self._suite
 
     # ------------------------------------------------------------------
+    def engine_spec(self, include: Optional[tuple] = None):
+        """Picklable :class:`~repro.serve.worker.EngineSpec` describing
+        how a worker process rebuilds this context's classifier +
+        explainer suite.
+
+        The factory (:func:`context_explainers`, resolved by import in
+        the worker) reconstructs the context from ``(dataset_name,
+        scale, cache_dir)`` and loads the classifier/CAE/ICAM weights
+        from the disk cache the parent populated — only the small
+        auxiliary explainer models retrain, deterministically from the
+        same seeds.  Build the suite (or call :meth:`engine`) *before*
+        spawning workers from this spec so the weight cache is warm.
+        """
+        from ..serve.worker import EngineSpec
+        return EngineSpec("repro.eval.pipeline:context_explainers",
+                          kwargs=dict(dataset_name=self.dataset_name,
+                                      scale=self.scale,
+                                      cache_dir=self.cache_dir,
+                                      include=include))
+
     def engine(self, include: Optional[tuple] = None, max_batch: int = 16,
                max_delay_ms: Optional[float] = None,
                min_batch: Optional[int] = None,
@@ -195,19 +215,23 @@ class ExperimentContext:
                cache_size: int = 256, cache_shards: int = 4,
                eviction: str = "lru",
                max_pending: Optional[int] = None, policy: str = "block",
-               executor=None):
+               executor=None, workers: Optional[int] = None):
         """The serving-layer :class:`~repro.serve.ExplainEngine` over this
         context's classifier + suite, so repeated sweeps hit the saliency
         cache and share micro-batched model calls.  The engine is cached
         per configuration: calling again with the same arguments returns
         the same engine (warm cache); different arguments rebuild it —
         **invalidating** a previously returned engine whose executor the
-        context created ("serial"/"threaded" strings): its workers are
-        shut down (after a drain) so nothing leaks or strands.  An
-        executor *instance* passed by the caller stays the caller's to
-        close.
+        context created ("serial"/"threaded"/"process" strings): its
+        workers are shut down (after a drain) so nothing leaks or
+        strands.  An executor *instance* passed by the caller stays the
+        caller's to close.
         ``executor`` picks the batch executor (``None``/"serial",
-        "threaded", or an instance); the cache defaults to 4 shards.
+        "threaded", "process", or an instance) and ``workers`` its pool
+        size; ``executor="process"`` derives the worker-side
+        :meth:`engine_spec` automatically, so each worker process
+        materializes its own model replicas from the disk cache this
+        call populates.  The cache defaults to 4 shards.
         The admission-control knobs pass straight through:
         ``min_batch``/``target_batch_ms`` turn on adaptive per-queue
         micro-batching, ``eviction`` picks "lru" or cost-aware "cost",
@@ -216,9 +240,9 @@ class ExperimentContext:
         """
         config = (include, max_batch, max_delay_ms, cache_size,
                   cache_shards, executor, min_batch, target_batch_ms,
-                  eviction, max_pending, policy)
+                  eviction, max_pending, policy, workers)
         if self._engine is None or self._engine[0] != config:
-            from ..serve import ExplainEngine
+            from ..serve import ExplainEngine, make_executor
             if self._engine is not None:
                 old_executor = self._engine[0][5]
                 if old_executor is None or isinstance(old_executor, str):
@@ -236,13 +260,22 @@ class ExperimentContext:
                         f"suite was built without {missing}; construct the "
                         "context's suite with those methods first")
                 explainers = {name: explainers[name] for name in include}
+            # Build string executors here (not inside the engine): the
+            # process pool needs the worker-side spec, and it must spawn
+            # only after suite() above has written every cached weight
+            # file the workers will load.
+            engine_executor = executor
+            if isinstance(executor, str) or executor is None:
+                engine_executor = make_executor(
+                    executor, spec=self.engine_spec(include),
+                    workers=workers)
             self._engine = (config, ExplainEngine(
                 self.classifier, explainers,
                 max_batch=max_batch, max_delay_ms=max_delay_ms,
                 min_batch=min_batch, target_batch_ms=target_batch_ms,
                 cache_size=cache_size, cache_shards=cache_shards,
                 eviction=eviction, max_pending=max_pending, policy=policy,
-                executor=executor))
+                executor=engine_executor))
         return self._engine[1]
 
     # ------------------------------------------------------------------
@@ -259,3 +292,26 @@ class ExperimentContext:
         masks = test.masks[pick] if test.masks is not None else \
             np.zeros((len(pick),) + test.image_shape[1:])
         return test.images[pick], test.labels[pick], masks
+
+
+# ----------------------------------------------------------------------
+def context_explainers(dataset_name: str,
+                       scale: Optional[ExperimentScale] = None,
+                       cache_dir: str = DEFAULT_CACHE_DIR,
+                       include: Optional[tuple] = None):
+    """Worker-process factory behind :meth:`ExperimentContext.engine_spec`.
+
+    Rebuilds the context in the worker's own interpreter and returns
+    ``(classifier, explainers)``.  The classifier/CAE/ICAM weights load
+    from the disk cache the parent already populated; auxiliary
+    explainer models retrain deterministically from the same seeds.
+    Module-level on purpose: the :class:`~repro.serve.worker.EngineSpec`
+    references it by ``"module:attr"`` string, which every
+    ``multiprocessing`` start method can resolve by import.
+    """
+    context = ExperimentContext(dataset_name, scale=scale,
+                                cache_dir=cache_dir)
+    explainers = context.suite(include).explainers
+    if include is not None:
+        explainers = {name: explainers[name] for name in include}
+    return context.classifier, explainers

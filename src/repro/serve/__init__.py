@@ -16,9 +16,16 @@ The package splits the serving layer into four pieces:
   limit adapts to its observed per-map latency (cheap methods batch
   wide, expensive ones flush small).
 * :mod:`~repro.serve.executor` — :class:`SerialExecutor` (inline,
-  deterministic) and :class:`ThreadedExecutor` (persistent worker
-  threads; the BLAS GEMMs inside ``explain_batch`` release the GIL, so
-  independent micro-batches overlap on multi-core hosts).
+  deterministic), :class:`ThreadedExecutor` (persistent worker threads;
+  the BLAS GEMMs inside ``explain_batch`` release the GIL, so
+  independent micro-batches overlap on multi-core hosts), and
+  :class:`ProcessExecutor` (persistent worker *processes*: each one
+  materializes the engine's models once from a picklable
+  :class:`~repro.serve.worker.EngineSpec` and then serves compact batch
+  payloads, sidestepping the GIL for the python-heavy explainer
+  overhead threads cannot parallelize).
+* :mod:`~repro.serve.worker` — the process-worker side: the
+  :class:`EngineSpec` recipe, the payload codec, and the worker loop.
 * :mod:`~repro.serve.engine` — the :class:`ExplainEngine` façade tying
   them together behind ``submit`` / ``submit_async`` / ``flush`` /
   ``drain`` / ``explain`` / ``explain_batch``.  Async ingestion is
@@ -56,8 +63,11 @@ from .cache import (EVICTION_POLICIES, CacheKey, SaliencyCache,
                     ShardedSaliencyCache, image_digest, request_key)
 from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
                      PendingExplain)
-from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
+                       make_executor)
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
+from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
+                     demo_spec)
 
 __all__ = [
     "ExplainEngine", "PendingExplain", "EngineOverloaded",
@@ -65,5 +75,7 @@ __all__ = [
     "SaliencyCache", "ShardedSaliencyCache", "CacheKey",
     "image_digest", "request_key",
     "MicroBatchScheduler", "ExplainRequest", "QueueKey",
-    "SerialExecutor", "ThreadedExecutor", "make_executor",
+    "SerialExecutor", "ThreadedExecutor", "ProcessExecutor",
+    "make_executor",
+    "EngineSpec", "WorkerBatchError", "WorkerCrashed", "demo_spec",
 ]

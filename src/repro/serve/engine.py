@@ -48,6 +48,7 @@ from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
                     image_digest, request_key)
 from .executor import make_executor
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
+from .worker import WorkerCrashed
 
 __all__ = ["EngineOverloaded", "ExplainEngine", "PendingExplain",
            "SaliencyCache", "image_digest", "request_key"]
@@ -171,7 +172,14 @@ class ExplainEngine:
         raises :class:`EngineOverloaded` immediately.
     executor:
         ``None``/``"serial"`` (inline, deterministic), ``"threaded"``
-        (persistent worker threads), or an executor instance.
+        (persistent worker threads), or an executor instance — e.g. a
+        :class:`~repro.serve.executor.ProcessExecutor` built from an
+        :class:`~repro.serve.worker.EngineSpec` (persistent worker
+        *processes*; ``ExperimentContext.engine(executor="process")``
+        derives the spec automatically).  When the executor exposes a
+        ``run_batch`` remote-compute channel, the engine ships each
+        batch's compute to it as a compact payload and keeps all
+        bookkeeping (cache, dedup fan-out, admission) in-process.
     """
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
@@ -340,19 +348,40 @@ class ExplainEngine:
                  for r in requests], dtype=np.int64)
         else:
             targets = None
-        with self._method_locks[method]:
-            # Time inside the method lock: a batch that convoyed behind
-            # another batch of its method must not bill the wait as
-            # compute, or the inflated cost skews eviction priorities
-            # and shrinks the adaptive batch limit under load.
-            start = time.perf_counter()
-            if explainer.needs_gradients:
-                results = explainer.explain_batch(images, labels, targets)
-            else:
-                with nn.no_grad():
+        remote = getattr(self._executor, "run_batch", None)
+        if remote is not None:
+            # Process pool: compute runs on a worker's private model
+            # replicas, so no per-method lock is needed (two batches of
+            # one method may overlap on different workers) and the
+            # worker's own wall clock is the pure-compute cost.  A pool
+            # with no survivors can never drain what is queued — that
+            # is the admission contract's "cannot make progress" case,
+            # surfaced in its own type with the crash as the cause.
+            try:
+                results, batch_ms = remote(method, images, labels, targets)
+            except WorkerCrashed as exc:
+                if getattr(self._executor, "alive_workers", 1) == 0:
+                    raise EngineOverloaded(
+                        "process pool has no live workers; the batch is "
+                        "requeued but only a fresh executor can run it"
+                    ) from exc
+                raise
+        else:
+            with self._method_locks[method]:
+                # Time inside the method lock: a batch that convoyed
+                # behind another batch of its method must not bill the
+                # wait as compute, or the inflated cost skews eviction
+                # priorities and shrinks the adaptive batch limit under
+                # load.
+                start = time.perf_counter()
+                if explainer.needs_gradients:
                     results = explainer.explain_batch(images, labels,
                                                       targets)
-            batch_ms = (time.perf_counter() - start) * 1000.0
+                else:
+                    with nn.no_grad():
+                        results = explainer.explain_batch(images, labels,
+                                                          targets)
+                batch_ms = (time.perf_counter() - start) * 1000.0
         # Measured per-map cost feeds the cost-aware eviction policy
         # (cache insert below) and the queue's adaptive batch limit.
         cost_ms = batch_ms / len(requests)

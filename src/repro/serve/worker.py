@@ -1,0 +1,295 @@
+"""Worker-process side of the :class:`~repro.serve.executor.ProcessExecutor`.
+
+Three pieces live here, all deliberately free of any engine state:
+
+* :class:`EngineSpec` — a picklable *recipe* for the models a worker
+  needs.  The parent never ships live modules: each worker process
+  materializes the spec **once at startup** (importing the factory and
+  calling it), so per-batch traffic carries only compact payloads.  A
+  factory is either a module-level callable or an ``"module:attr"``
+  string, and returns either an ``{name: Explainer}`` mapping or a
+  ``(classifier, explainers)`` pair.
+* **Payload codec** — :func:`encode_batch` / :func:`decode_batch` pack a
+  micro-batch as ``(method, stacked float32 images, labels, targets)``;
+  :func:`encode_results` / :func:`decode_results` pack the reply as one
+  stacked saliency array plus per-map labels/targets/meta.  No
+  :class:`~repro.explain.base.SaliencyResult` object crosses the pipe as
+  a live reference — the parent reconstructs fresh ones, so cache
+  freezing and digest stamping keep working unchanged.
+* :func:`worker_main` — the worker loop: handshake (``ready`` /
+  ``init_error``), then ``batch`` / ``stats`` / ``stop`` messages until
+  the parent hangs up.  Each batch is timed *inside the worker* (pure
+  compute, no pipe or convoy time), and the measured per-map cost rides
+  back for the engine's cost-aware cache and adaptive batch limits.
+  Methods whose replica sets ``needs_gradients = False`` run under
+  ``nn.no_grad()`` in the worker, exactly as the in-process engine
+  would run them.
+
+:func:`demo_spec` builds a small untrained-classifier spec used by the
+serving benchmark, the process-executor tests, and the docs; its
+registry includes the failure-injection methods ``boom`` (raises inside
+the worker), ``exit`` (kills the worker process mid-batch), and ``slow``
+(fixed per-map sleep) that the lifecycle/chaos tests drive.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["EngineSpec", "WorkerCrashed", "WorkerBatchError",
+           "worker_main", "demo_spec",
+           "encode_batch", "decode_batch",
+           "encode_results", "decode_results"]
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died (or the pool has none left alive): the
+    channel hit EOF mid-conversation.  The batch that observed it is
+    requeued by the engine's normal failure path, so a surviving worker
+    (or a fresh executor) can retry it."""
+
+
+class WorkerBatchError(RuntimeError):
+    """A batch raised *inside* a worker process.  Carries the remote
+    traceback text (``remote_traceback``) so the parent-side stack —
+    which only shows the pipe round-trip — still points at the real
+    failure."""
+
+    def __init__(self, method: str, exc_type: str, message: str,
+                 remote_traceback: str):
+        super().__init__(
+            f"{exc_type} in worker while explaining {method!r}: {message}\n"
+            f"--- remote traceback ---\n{remote_traceback}")
+        self.method = method
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for one engine's models.
+
+    ``factory`` is a module-level callable or an ``"module:attr"``
+    string (resolved by import in the worker — the robust form under the
+    ``spawn`` start method); ``args``/``kwargs`` are its call arguments
+    and must themselves pickle.  The factory returns either an
+    ``{name: Explainer}`` mapping or ``(classifier, explainers)``.
+    """
+
+    factory: Union[str, Callable]
+    args: Tuple = ()
+    kwargs: Dict = field(default_factory=dict)
+
+    def resolve_factory(self) -> Callable:
+        if callable(self.factory):
+            return self.factory
+        module_name, _, attr = self.factory.partition(":")
+        if not module_name or not attr:
+            raise ValueError(
+                f"spec factory string must look like 'module:attr', "
+                f"got {self.factory!r}")
+        return getattr(importlib.import_module(module_name), attr)
+
+    def materialize(self) -> Tuple[object, Dict]:
+        """Build ``(classifier_or_None, explainers)`` from the recipe."""
+        built = self.resolve_factory()(*self.args, **dict(self.kwargs))
+        if isinstance(built, tuple):
+            classifier, explainers = built
+        else:
+            classifier, explainers = None, built
+        if not isinstance(explainers, dict) or not explainers:
+            raise TypeError(
+                "spec factory must return an {name: Explainer} mapping "
+                f"or a (classifier, mapping) pair, got {type(built)}")
+        return classifier, explainers
+
+
+# ----------------------------------------------------------------------
+# Payload codec: what actually crosses the pipe, in both directions.
+def encode_batch(method: str, images: np.ndarray, labels: np.ndarray,
+                 targets: Optional[np.ndarray]) -> Tuple:
+    """Pack one micro-batch for the wire: contiguous float32 image
+    stack, int64 labels, and the optional target array (``None`` when
+    no request in the batch set a counter class)."""
+    images = np.ascontiguousarray(images, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+    if targets is not None:
+        targets = np.asarray(targets, dtype=np.int64)
+    return ("batch", method, images, labels, targets)
+
+
+def decode_batch(message: Tuple) -> Tuple[str, np.ndarray, np.ndarray,
+                                          Optional[np.ndarray]]:
+    _, method, images, labels, targets = message
+    return method, images, labels, targets
+
+
+def encode_results(results: List) -> Tuple:
+    """Pack a batch's results: one stacked saliency array (the compact
+    common case) plus per-map labels/targets/meta.  Mixed-shape maps —
+    not produced by any registered method, but legal — fall back to a
+    list of arrays."""
+    maps = [np.asarray(r.saliency) for r in results]
+    try:
+        saliency = np.stack(maps)
+    except ValueError:                     # mixed shapes: ship the list
+        saliency = maps
+    labels = [int(r.label) for r in results]
+    targets = [r.target_label for r in results]
+    metas = [r.meta for r in results]
+    return (saliency, labels, targets, metas)
+
+
+def decode_results(payload: Tuple) -> List:
+    from ..explain.base import SaliencyResult
+    saliency, labels, targets, metas = payload
+    return [SaliencyResult(np.array(saliency[i]), labels[i],
+                           target_label=targets[i], meta=metas[i])
+            for i in range(len(labels))]
+
+
+# ----------------------------------------------------------------------
+def worker_main(conn, spec: EngineSpec) -> None:
+    """Worker-process entry point: materialize the spec once, then
+    serve ``batch`` / ``stats`` / ``stop`` messages until the parent
+    hangs up.  Runs single-threaded in its own interpreter, so there is
+    no GIL to share with the parent or with sibling workers."""
+    from .. import nn
+
+    try:
+        _classifier, explainers = spec.materialize()
+    except BaseException:                  # noqa: BLE001 — report, don't die
+        try:
+            conn.send(("init_error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    batches = maps = 0
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:               # parent went away: just exit
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "stats":
+                conn.send(("stats", {"pid": os.getpid(),
+                                     "batches": batches, "maps": maps}))
+                continue
+            method, images, labels, targets = decode_batch(message)
+            try:
+                explainer = explainers[method]
+                start = time.perf_counter()
+                if explainer.needs_gradients:
+                    results = explainer.explain_batch(images, labels,
+                                                      targets)
+                else:
+                    with nn.no_grad():
+                        results = explainer.explain_batch(images, labels,
+                                                          targets)
+                batch_ms = (time.perf_counter() - start) * 1000.0
+            except BaseException as exc:   # noqa: BLE001 — ship it back
+                conn.send(("error", method, type(exc).__name__, str(exc),
+                           traceback.format_exc()))
+            else:
+                batches += 1
+                maps += len(images)
+                conn.send(("ok", encode_results(results), batch_ms))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Demo spec: a seeded untrained classifier + explainers, identical in
+# every process that materializes it (SmallResNet init is RNG-seeded).
+class _BoomExplainer:
+    """Failure injection: every batch raises inside the worker."""
+
+    name = "boom"
+    needs_gradients = False
+
+    def explain_batch(self, images, labels, targets=None):
+        raise RuntimeError("injected worker failure")
+
+
+class _ExitExplainer:
+    """Failure injection: the worker process dies mid-batch (no reply,
+    no cleanup — exactly what an OOM kill looks like to the parent)."""
+
+    name = "exit"
+    needs_gradients = False
+
+    def explain_batch(self, images, labels, targets=None):
+        os._exit(13)
+
+
+def _demo_explainers(methods: Tuple[str, ...] = ("gradcam", "occlusion"),
+                     num_classes: int = 2, in_channels: int = 1,
+                     width: int = 8, seed: int = 0,
+                     slow_ms: float = 200.0):
+    """Module-level factory for :func:`demo_spec` (import-resolvable
+    from any process).  Untrained weights are fine for serving-runtime
+    work — engine cost is architecture-bound — and the seeded init makes
+    every replica bit-identical to the parent's copy."""
+    from ..classifiers import SmallResNet
+    from ..explain import (FullGradExplainer, GradCAMExplainer,
+                           OcclusionExplainer, SimpleFullGradExplainer)
+    from ..explain.base import Explainer, SaliencyResult
+
+    classifier = SmallResNet(num_classes, in_channels, width=width,
+                             seed=seed)
+    classifier.eval()
+
+    class _SlowExplainer(Explainer):
+        name = "slow"
+        needs_gradients = False
+
+        def explain_batch(self, images, labels, targets=None):
+            time.sleep(slow_ms * len(images) / 1000.0)
+            return [SaliencyResult(np.zeros(images.shape[2:],
+                                            dtype=np.float32), int(y))
+                    for y in labels]
+
+    registry = {
+        "gradcam": lambda: GradCAMExplainer(classifier),
+        "fullgrad": lambda: FullGradExplainer(classifier),
+        "simple_fullgrad": lambda: SimpleFullGradExplainer(classifier),
+        "occlusion": lambda: OcclusionExplainer(classifier, window=4,
+                                                stride=2),
+        "boom": _BoomExplainer,
+        "exit": _ExitExplainer,
+        "slow": _SlowExplainer,
+    }
+    unknown = [m for m in methods if m not in registry]
+    if unknown:
+        raise KeyError(f"demo spec has no methods {unknown}; "
+                       f"choose from {sorted(registry)}")
+    return classifier, {m: registry[m]() for m in methods}
+
+
+def demo_spec(methods: Tuple[str, ...] = ("gradcam", "occlusion"),
+              num_classes: int = 2, in_channels: int = 1, width: int = 8,
+              seed: int = 0, slow_ms: float = 200.0) -> EngineSpec:
+    """Spec for a small seeded demo engine (see :func:`_demo_explainers`).
+
+    Used by ``benchmarks/bench_serve.py``, the process-executor test
+    suite, and as the reference for writing real specs: the parent calls
+    ``spec.materialize()`` for its own engine-side explainers, and every
+    worker materializes the same recipe to bit-identical replicas.
+    """
+    return EngineSpec("repro.serve.worker:_demo_explainers",
+                      kwargs=dict(methods=tuple(methods),
+                                  num_classes=num_classes,
+                                  in_channels=in_channels, width=width,
+                                  seed=seed, slow_ms=slow_ms))

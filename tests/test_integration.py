@@ -132,3 +132,56 @@ class TestExperimentContext:
         images, labels, masks = ctx.sample_test_images(3, abnormal_only=True)
         assert np.all(labels != 0)
         assert len(images) <= 3
+
+    def test_engine_process_executor_wiring(self, tmp_path, monkeypatch):
+        """``engine(executor="process", workers=N)`` must derive the
+        worker-side spec from the context and own the resulting pool
+        (reconfiguring the engine shuts it down).  The pool itself is
+        faked — its spec replication is covered by the process-executor
+        suite; this test pins the context wiring."""
+        import repro.serve.executor as executor_mod
+
+        created = {}
+
+        class FakePool:
+            name = "process"
+
+            def __init__(self, spec, workers=2):
+                created["spec"] = spec
+                created["workers"] = workers
+
+            def submit(self, fn, *args):
+                from concurrent.futures import Future
+                future = Future()
+                future.set_result(fn(*args))
+                return future
+
+            def shutdown(self, wait=True):
+                created["shutdown"] = True
+
+        monkeypatch.setattr(executor_mod, "ProcessExecutor", FakePool)
+        scale = ExperimentScale(image_size=16, train_divisor=2000,
+                                classifier_epochs=1, classifier_width=8,
+                                cae_iterations=2, aux_epochs=1,
+                                base_channels=8, min_train_per_class=8,
+                                min_test_per_class=4)
+        ctx = ExperimentContext("brain_tumor1", scale,
+                                cache_dir=str(tmp_path))
+        engine = ctx.engine(include=("gradcam",), executor="process",
+                            workers=3)
+        assert engine.stats()["executor"] == "process"
+        assert created["workers"] == 3
+        spec = created["spec"]
+        assert spec.factory == "repro.eval.pipeline:context_explainers"
+        assert spec.kwargs["dataset_name"] == "brain_tumor1"
+        assert spec.kwargs["include"] == ("gradcam",)
+        # The spec is materializable in any process: it rebuilds the
+        # same classifier from the disk cache the engine() call warmed.
+        classifier, explainers = spec.materialize()
+        assert set(explainers) == {"gradcam"}
+        images = ctx.test_set.images[:2]
+        np.testing.assert_allclose(classifier.predict_proba(images),
+                                   ctx.classifier.predict_proba(images))
+        # Reconfiguring invalidates the context-owned pool.
+        ctx.engine(include=("gradcam",), executor="serial")
+        assert created.get("shutdown") is True

@@ -1,0 +1,264 @@
+"""Tests for the process-pool serving executor: spec replication,
+payload codec, serial-parity, cross-process dedup, failure/retry and
+lifecycle (worker death, clean shutdown, handle conservation)."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (EngineOverloaded, EngineSpec, ExplainEngine,
+                         ProcessExecutor, WorkerBatchError, WorkerCrashed,
+                         demo_spec, make_executor)
+from repro.serve.worker import (_demo_explainers, decode_results,
+                                encode_results)
+
+
+def _images(n: int, side: int = 16, channels: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((n, channels, side, side)) \
+        .astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One shared 2-worker pool over the demo spec (gradcam + occlusion
+    + a 100 ms/map sleeper).  Engines built on it must not be closed —
+    ``close()`` would shut the shared workers down; the fixture owns
+    the shutdown."""
+    spec = demo_spec(("gradcam", "occlusion", "slow"), slow_ms=100.0)
+    classifier, explainers = spec.materialize()
+    executor = ProcessExecutor(spec, workers=2)
+    yield classifier, explainers, executor
+    executor.shutdown()
+    assert all(not c.process.is_alive() for c in executor._all)
+
+
+def _engine(pool, **kwargs) -> ExplainEngine:
+    classifier, explainers, executor = pool
+    kwargs.setdefault("max_batch", 4)
+    return ExplainEngine(classifier, explainers, executor=executor,
+                         **kwargs)
+
+
+def _maps_computed(executor) -> int:
+    return sum(s["maps"] for s in executor.worker_stats())
+
+
+class TestEngineSpec:
+    def test_string_factory_resolves_and_materializes(self):
+        spec = demo_spec(("gradcam",), width=8, seed=3)
+        assert spec.factory == "repro.serve.worker:_demo_explainers"
+        classifier, explainers = spec.materialize()
+        assert set(explainers) == {"gradcam"}
+        # Same recipe, fresh call: replicas are bit-identical (the
+        # parity the worker processes rely on).
+        again, _ = demo_spec(("gradcam",), width=8, seed=3).materialize()
+        images = _images(2)
+        np.testing.assert_array_equal(classifier.predict_proba(images),
+                                      again.predict_proba(images))
+
+    def test_callable_factory_passes_through(self):
+        spec = EngineSpec(_demo_explainers,
+                          kwargs=dict(methods=("occlusion",)))
+        _, explainers = spec.materialize()
+        assert set(explainers) == {"occlusion"}
+
+    def test_malformed_string_factory_rejected(self):
+        with pytest.raises(ValueError, match="module:attr"):
+            EngineSpec("no-colon-here").resolve_factory()
+
+    def test_factory_must_return_explainer_mapping(self):
+        with pytest.raises(TypeError, match="mapping"):
+            EngineSpec(dict).materialize()
+
+    def test_unknown_demo_method_rejected(self):
+        with pytest.raises(KeyError, match="no methods"):
+            demo_spec(("nope",)).materialize()
+
+    def test_result_codec_round_trip(self):
+        from repro.explain.base import SaliencyResult
+        results = [SaliencyResult(np.arange(16, dtype=np.float32)
+                                  .reshape(4, 4), 1, target_label=0,
+                                  meta={"bias": np.ones(3)}),
+                   SaliencyResult(np.zeros((4, 4), dtype=np.float32), 0)]
+        decoded = decode_results(encode_results(results))
+        assert len(decoded) == 2
+        np.testing.assert_array_equal(decoded[0].saliency,
+                                      results[0].saliency)
+        assert decoded[0].label == 1 and decoded[0].target_label == 0
+        np.testing.assert_array_equal(decoded[0].meta["bias"], np.ones(3))
+        assert decoded[1].target_label is None
+
+    def test_make_executor_process_requires_spec(self):
+        with pytest.raises(ValueError, match="EngineSpec"):
+            make_executor("process")
+
+
+class TestProcessExecutor:
+    def test_submitted_callables_run_in_parent(self, pool):
+        # The executor contract: submit() runs the engine's bookkeeping
+        # closure in the *parent* (locks, cache, handles live here);
+        # only run_batch ships compute to a worker.
+        _, _, executor = pool
+        assert executor.submit(os.getpid).result() == os.getpid()
+
+    def test_serial_parity_peak_relative(self, pool):
+        classifier, explainers, _ = pool
+        engine = _engine(pool)
+        serial = ExplainEngine(classifier, explainers, max_batch=4)
+        images = _images(6)
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        for method in ("gradcam", "occlusion"):
+            remote = engine.explain_batch(images, labels, method)
+            local = serial.explain_batch(images, labels, method)
+            for r, l in zip(remote, local):
+                peak = max(np.abs(l.saliency).max(), 1e-12)
+                assert np.abs(r.saliency - l.saliency).max() / peak < 1e-3
+                assert r.label == l.label
+
+    def test_worker_measured_cost_feeds_cache(self, pool):
+        # The sleeper costs ~100 ms/map *inside the worker*; the cost
+        # recorded at insert must reflect that compute, which only
+        # works if the worker's own clock rides back with the payload.
+        engine = _engine(pool, cache_size=64, eviction="cost")
+        engine.explain(_images(1)[0], 0, "slow")
+        shard = engine.cache._shard(next(iter(
+            k for s in engine.cache.shards for k in s._store)))
+        (cost,) = shard._cost.values()
+        assert cost > 50.0
+
+    def test_dedup_exactly_once_across_processes(self, pool):
+        _, _, executor = pool
+        engine = _engine(pool, max_batch=2)
+        before = _maps_computed(executor)
+        unique, repeats = 4, 3
+        images = _images(unique)
+        rng = np.random.default_rng(0)
+        order = rng.permutation(np.repeat(np.arange(unique), repeats))
+        handles = [engine.submit_async(images[i], int(i % 2), "gradcam")
+                   for i in order]
+        engine.drain()
+        assert all(h.done for h in handles)
+        stats = engine.stats()
+        # Exactly one compute per unique request, counted where the
+        # compute actually happened: inside the worker processes.
+        assert _maps_computed(executor) - before == unique
+        assert stats["cache_inserts"] == unique
+        assert stats["requests_served"] == unique * repeats
+        assert stats["dedup_hits"] + stats["cache_hits"] \
+            == unique * (repeats - 1)
+
+    def test_pending_handles_conservation_across_dispatch(self, pool):
+        engine = _engine(pool, max_batch=2)
+        images = _images(3)
+        # Two submits fill the queue: the batch dispatches to a worker
+        # (a ~200 ms sleep) and its handles are *in flight*, not queued.
+        h1 = engine.submit_async(images[0], 0, "slow")
+        h2 = engine.submit_async(images[1], 0, "slow")
+        h3 = engine.submit_async(images[2], 0, "slow")   # stays queued
+        stats = engine.stats()
+        assert stats["pending"] == 1                     # queued unique
+        assert stats["pending_handles"] == 3             # queued+in-flight
+        engine.drain()
+        assert all(h.done for h in (h1, h2, h3))
+        stats = engine.stats()
+        assert stats["pending_handles"] == 0
+        assert stats["requests_served"] == 3
+
+    def test_remote_failure_propagates_with_cause_through_drain(self):
+        spec = demo_spec(("boom", "occlusion"))
+        classifier, explainers = spec.materialize()
+        executor = ProcessExecutor(spec, workers=1)
+        engine = ExplainEngine(classifier, explainers, max_batch=1,
+                               executor=executor)
+        try:
+            engine.submit_async(_images(1)[0], 0, "boom")
+            with pytest.raises(WorkerBatchError,
+                               match="injected worker failure") as exc:
+                engine.drain()
+            # The remote traceback names the real failure site, not the
+            # parent-side pipe round-trip.
+            assert "explain_batch" in exc.value.remote_traceback
+            # Failure contract unchanged: the batch requeued for retry,
+            # and the pool survived a batch that merely *raised*.
+            assert engine.pending_count("boom") == 1
+            assert executor.alive_workers == 1
+            # Other methods still serve on the surviving pool.
+            ok = engine.explain(_images(1)[0], 1, "occlusion")
+            assert ok.label == 1
+            with pytest.raises(WorkerBatchError):
+                engine.close()               # retried, still failing: loud
+        finally:
+            executor.shutdown()
+
+    def test_worker_death_mid_batch_then_close_overloads_with_cause(self):
+        spec = demo_spec(("exit", "occlusion"))
+        classifier, explainers = spec.materialize()
+        executor = ProcessExecutor(spec, workers=1)
+        engine = ExplainEngine(classifier, explainers, max_batch=1,
+                               executor=executor)
+        engine.submit_async(_images(1)[0], 0, "exit")
+        # The lone worker os._exits mid-batch: the pool has no
+        # survivors, so the failure surfaces in the engine's
+        # cannot-make-progress type with the crash as the cause.
+        with pytest.raises(EngineOverloaded) as exc:
+            engine.drain()
+        assert isinstance(exc.value.__cause__, WorkerCrashed)
+        assert executor.alive_workers == 0
+        # close() retries the drain once (the requeued batch hits the
+        # dead pool again), then re-raises — stranded handles are loud,
+        # and the shutdown still reaps every process: no orphans.
+        with pytest.raises(EngineOverloaded) as exc2:
+            engine.close()
+        assert isinstance(exc2.value.__cause__, WorkerCrashed)
+        assert all(not c.process.is_alive() for c in executor._all)
+
+    def test_batch_failure_recovers_on_surviving_worker(self):
+        # One worker dies mid-batch; the pool keeps a survivor, so the
+        # engine's requeue-and-retry lands the *other* method's work
+        # without the producer ever seeing the crash type escalate.
+        spec = demo_spec(("exit", "gradcam"))
+        classifier, explainers = spec.materialize()
+        executor = ProcessExecutor(spec, workers=2)
+        engine = ExplainEngine(classifier, explainers, max_batch=1,
+                               executor=executor)
+        try:
+            engine.submit_async(_images(1)[0], 0, "exit")
+            with pytest.raises(WorkerCrashed):
+                engine.drain()               # survivor remains: not Overloaded
+            assert executor.alive_workers == 1
+            result = engine.explain(_images(1)[0], 1, "gradcam")
+            assert result.label == 1
+        finally:
+            executor.shutdown()
+
+    def test_engine_close_shuts_pool_down_cleanly(self):
+        spec = demo_spec(("occlusion",))
+        classifier, explainers = spec.materialize()
+        executor = ProcessExecutor(spec, workers=2)
+        with ExplainEngine(classifier, explainers, max_batch=2,
+                           executor=executor) as engine:
+            handles = [engine.submit_async(img, 0, "occlusion")
+                       for img in _images(4)]
+            engine.drain()
+            assert all(h.done for h in handles)
+        # __exit__ drained then shut down: every worker exited by
+        # itself (clean stop message, exitcode 0), none orphaned.
+        assert executor.alive_workers == 0
+        for channel in executor._all:
+            assert not channel.process.is_alive()
+            assert channel.process.exitcode == 0
+        executor.shutdown()                  # idempotent
+
+    def test_broken_spec_fails_constructor_with_remote_traceback(self):
+        with pytest.raises(WorkerCrashed, match="materialize"):
+            ProcessExecutor(demo_spec(("nope",)), workers=1,
+                            startup_timeout_s=60.0)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(demo_spec(), workers=0)
+        with pytest.raises(TypeError, match="EngineSpec"):
+            ProcessExecutor("not a spec")

@@ -263,6 +263,29 @@ class TestExecutors:
         with pytest.raises(ValueError):
             make_executor("hyperdrive")
 
+    def test_shutdown_nowait_cancels_queued_futures(self):
+        # Regression: shutdown(wait=False) is the fatal-error path —
+        # queued-but-unstarted work must be *cancelled*, not left as
+        # futures no thread will ever run (a close() after a wedged
+        # batch would otherwise hang any caller still waiting on the
+        # backlog).
+        executor = ThreadedExecutor(workers=1)
+        started, release = threading.Event(), threading.Event()
+
+        def blocker():
+            started.set()
+            return release.wait(10)
+
+        first = executor.submit(blocker)
+        assert started.wait(5)               # occupies the lone worker
+        backlog = [executor.submit(lambda: None) for _ in range(4)]
+        try:
+            executor.shutdown(wait=False)
+            assert all(f.cancelled() for f in backlog)
+        finally:
+            release.set()
+        assert first.result(timeout=10) is True
+
     def test_threaded_matches_serial(self, tiny_classifier, sample):
         images, labels = sample
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fail CI when a smoke run regresses a baseline.
+
+Turns the ``BENCH_*.json`` trajectory from a log into a gate: CI runs
+each benchmark in smoke mode (writing ``/tmp/bench_*_ci.json``) and this
+script compares the smoke entry against the committed baseline entry,
+**failing the job** (exit code 1) when any recorded timing regressed by
+more than the threshold::
+
+    python tools/check_bench.py BENCH_substrate.json /tmp/bench_ci.json \
+        --current-label ci
+
+What counts as a recorded timing
+--------------------------------
+Both entries are walked recursively and compared on the **intersection**
+of their paths — a key absent from the baseline (a metric this PR
+introduced) or absent from the current run (a smoke that only exercises
+a subset, e.g. ``bench_explainers --only`` or ``bench_serve --executor
+process``) is skipped, never failed.  Of the shared numeric leaves only
+two shapes gate, chosen because they are per-unit rates that stay
+comparable when the smoke run shrinks the workload:
+
+* ``seconds`` / ``*ms_per_image`` — timings, **lower is better**: fail
+  when ``current > threshold * baseline``.
+* ``*_rps`` — throughput, **higher is better**: fail when
+  ``current < baseline / threshold``.
+
+Workload-scale-dependent values (counts, totals like
+``blocked_ms_total``, ratios like ``*_speedup``) never gate, and
+neither does ``offered_rps`` (reject-policy submission speed — it
+measures exception overhead, not serving capacity; ``served_rps``
+gates in its place).
+
+The threshold knob
+------------------
+``--threshold`` (default **2.5**) is deliberately loose: the committed
+baselines were recorded on a developer box and CI runners differ in
+clock speed, BLAS build, and core count, so the gate catches
+order-of-magnitude regressions (an accidentally quadratic path, a
+dropped fast path, a serialization stall) rather than machine noise.
+Tighten it once baselines are recorded on CI hardware; loosen it per
+invocation if a runner class proves noisier.
+
+Exit codes: 0 all gated metrics within threshold (or nothing to
+compare), 1 at least one regression, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Leaf-key shapes that gate, and their direction.
+def _classify(key: str) -> str:
+    """'time' (lower better), 'rate' (higher better), or '' (ignored)."""
+    if key == "seconds" or key.endswith("ms_per_image"):
+        return "time"
+    if key == "offered_rps":
+        # Producer-side submission speed under policy="reject": most
+        # submits raise immediately, so the number measures exception
+        # overhead and loop noise, not serving capacity.  served_rps
+        # gates instead.
+        return ""
+    if key.endswith("_rps"):
+        return "rate"
+    return ""
+
+
+def _numeric_leaves(node, path=()) -> Iterator[Tuple[Tuple[str, ...],
+                                                     float]]:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _numeric_leaves(value, path + (str(key),))
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield path, float(node)
+
+
+def compare(baseline: Dict, current: Dict,
+            threshold: float) -> Tuple[list, list]:
+    """Returns ``(regressions, checked)`` comparing two label entries."""
+    base_leaves = dict(_numeric_leaves(baseline))
+    regressions, checked = [], []
+    for path, cur in _numeric_leaves(current):
+        kind = _classify(path[-1])
+        if not kind or path not in base_leaves:
+            continue                      # skip keys absent from baseline
+        base = base_leaves[path]
+        dotted = ".".join(path)
+        if base <= 0 or cur <= 0:
+            continue                      # degenerate timings can't gate
+        if kind == "time":
+            ratio = cur / base
+            ok = ratio <= threshold
+            direction = "slower"
+        else:
+            ratio = base / cur
+            ok = ratio <= threshold
+            direction = "lower throughput"
+        checked.append((dotted, base, cur, ratio, ok))
+        if not ok:
+            regressions.append(
+                f"  {dotted}: {cur:g} vs baseline {base:g} "
+                f"({ratio:.2f}x {direction}, threshold {threshold}x)")
+    return regressions, checked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a bench smoke regresses its baseline "
+                    "(see module docstring for what gates and why).")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly-written smoke JSON")
+    parser.add_argument("--baseline-label", default="current",
+                        help="entry in the baseline file (default: "
+                        "'current', the latest committed run)")
+    parser.add_argument("--current-label", default="ci",
+                        help="entry in the current file (default: 'ci')")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="regression factor that fails the job "
+                        "(default 2.5; see docstring before tightening)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as fh:
+            baseline_doc = json.load(fh)
+        with open(args.current) as fh:
+            current_doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    if args.baseline_label not in baseline_doc:
+        print(f"check_bench: baseline {args.baseline} has no "
+              f"{args.baseline_label!r} entry — nothing to gate")
+        return 0
+    if args.current_label not in current_doc:
+        print(f"check_bench: current {args.current} has no "
+              f"{args.current_label!r} entry", file=sys.stderr)
+        return 2
+
+    regressions, checked = compare(baseline_doc[args.baseline_label],
+                                   current_doc[args.current_label],
+                                   args.threshold)
+    print(f"check_bench: {args.current} [{args.current_label}] vs "
+          f"{args.baseline} [{args.baseline_label}] — "
+          f"{len(checked)} gated metrics, threshold {args.threshold}x")
+    for dotted, base, cur, ratio, ok in checked:
+        flag = "   " if ok else "FAIL"
+        print(f"  {flag} {dotted}: {cur:g} vs {base:g} ({ratio:.2f}x)")
+    if regressions:
+        print(f"check_bench: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        print("\n".join(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
