@@ -6,7 +6,11 @@ and one ``explain_batch`` call — and writes machine-readable results to
 ``BENCH_explainers.json`` at the repo root.  The recorded
 ``speedup_batched`` per method is the Table V headline the batched-first
 contract exists for: batched Grad-CAM/FullGrad must stay >= 3x at the
-smoke scale.
+smoke scale.  Plan-eligible methods additionally record
+``plan_ms_per_map`` — the per-map cost of replaying a compiled
+execution plan (:mod:`repro.nn.plan`) against the same batch — and
+``speedup_plan`` (batched-tape over plan-replay; the serving hot path's
+win, >= 1.5x for Grad-CAM/FullGrad at smoke scale).
 
 Runs at the brain dataset smoke scale (16x16, width-8 classifier,
 untrained weights — explainer cost is architecture-bound, not
@@ -100,7 +104,8 @@ def build_explainers(images: np.ndarray, labels: np.ndarray,
 
 def time_method(explainer, images: np.ndarray, labels: np.ndarray,
                 repeats: int) -> Dict[str, float]:
-    """Median per-image ms for the explain loop vs one explain_batch."""
+    """Median per-image ms for the explain loop vs one explain_batch,
+    plus (for plan-eligible methods) per-map compiled-plan replay time."""
     explainer.explain_batch(images[:2], labels[:2])     # warmup
     n = len(images)
 
@@ -118,12 +123,29 @@ def time_method(explainer, images: np.ndarray, labels: np.ndarray,
 
     single_ms = float(np.median(singles)) * 1000.0
     batched_ms = float(np.median(batched)) * 1000.0
-    return {
+    out = {
         "single_ms_per_image": round(single_ms, 4),
         "batched_ms_per_image": round(batched_ms, 4),
         "speedup_batched": round(single_ms / batched_ms, 2)
         if batched_ms > 0 else float("inf"),
     }
+
+    if getattr(explainer, "plan_eligible", False):
+        # Compiled-plan replay: compile once (off the clock — serving
+        # amortizes it over thousands of replays), then time replays of
+        # the same (shape, dtype) key against the tape's batched path.
+        plan = explainer.compile_plan(images, labels)
+        explainer.explain_batch_planned(plan, images, labels)   # warmup
+        planned = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            explainer.explain_batch_planned(plan, images, labels)
+            planned.append((time.perf_counter() - start) / n)
+        plan_ms = float(np.median(planned)) * 1000.0
+        out["plan_ms_per_map"] = round(plan_ms, 4)
+        out["speedup_plan"] = round(batched_ms / plan_ms, 2) \
+            if plan_ms > 0 else float("inf")
+    return out
 
 
 def main() -> None:
@@ -149,9 +171,13 @@ def main() -> None:
     results = {}
     for name, explainer in explainers.items():
         results[name] = time_method(explainer, images, labels, args.repeats)
+        plan = ""
+        if "plan_ms_per_map" in results[name]:
+            plan = (f"   plan {results[name]['plan_ms_per_map']:8.2f} ms/map"
+                    f" ({results[name]['speedup_plan']:.1f}x)")
         print(f"{name:>16}: single {results[name]['single_ms_per_image']:8.2f}"
               f" ms/img   batched {results[name]['batched_ms_per_image']:8.2f}"
-              f" ms/img   ({results[name]['speedup_batched']:.1f}x)")
+              f" ms/img   ({results[name]['speedup_batched']:.1f}x){plan}")
 
     doc = {}
     if os.path.exists(args.out):

@@ -76,7 +76,9 @@ def build_engine(num_classes: int, in_channels: int, executor,
 
 def throughput(num_classes, in_channels, images, labels, make_executor_fn,
                repeats: int) -> float:
-    """Best-of-``repeats`` requests/sec for one executor flavour.
+    """Best-of-``repeats`` requests/sec for one executor flavour, plus
+    the last repeat's engine-side plan-cache stats (None when the
+    engine reports no plans section).
 
     ``make_executor_fn`` builds a fresh executor per repeat (each
     engine's ``close()`` shuts its executor down — for the process
@@ -87,6 +89,7 @@ def throughput(num_classes, in_channels, images, labels, make_executor_fn,
     """
     methods = MIXED_METHODS
     best = 0.0
+    plan_stats = None
     for _ in range(repeats):
         engine = build_engine(num_classes, in_channels, make_executor_fn())
         try:
@@ -100,9 +103,10 @@ def throughput(num_classes, in_channels, images, labels, make_executor_fn,
             elapsed = time.perf_counter() - start
             assert all(h.done for h in handles)
             best = max(best, len(images) / elapsed)
+            plan_stats = engine.stats()["plans"]
         finally:
             engine.close()
-    return best
+    return best, plan_stats
 
 
 def dedup_workload(classifier, images, labels, unique: int,
@@ -219,11 +223,19 @@ def main() -> None:
     }
     rps = {}
     for flavour in args.executor:
-        rps[flavour] = throughput(num_classes, in_channels, images, labels,
-                                  make_executor_fns[flavour], args.repeats)
+        rps[flavour], plan_stats = throughput(
+            num_classes, in_channels, images, labels,
+            make_executor_fns[flavour], args.repeats)
         print(f"mixed workload ({args.requests} reqs, 4 methods): "
               f"{flavour:8s} {rps[flavour]:7.1f} req/s "
               f"({os.cpu_count()} cpu, {args.workers} workers)")
+        if plan_stats is not None:
+            # The in-process plan cache; process-pool runs replay on the
+            # workers' per-replica caches (engine-side counters stay 0).
+            print(f"    plans: compiled={plan_stats['compiled']} "
+                  f"replay_hits={plan_stats['replay_hits']} "
+                  f"fallbacks={plan_stats['fallbacks']} "
+                  f"arena={plan_stats['arena_bytes'] / 1024:.0f}KiB")
 
     doc = {}
     if os.path.exists(args.out):

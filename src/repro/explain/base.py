@@ -85,6 +85,36 @@ class Explainer:
     #: engine wraps everything else in ``nn.no_grad()``.
     needs_gradients = False
 
+    #: True when the method's hot path is a fixed primitive sequence the
+    #: serving layer may compile into a :mod:`repro.nn.plan`
+    #: ExecutionPlan and replay tape-free for repeated
+    #: (batch_shape, dtype) keys.  Methods with data-dependent control
+    #: flow (LIME sampling, occlusion sweeps, StyLEx/CAE optimisation
+    #: loops, ICAM's manifold search) stay ineligible and always run on
+    #: the tape.
+    plan_eligible = False
+
+    def compile_plan(self, images: np.ndarray, labels: np.ndarray):
+        """Trace this method's hot path into an ExecutionPlan for the
+        given exemplar batch (its shape/dtype fix the plan's key).
+
+        Only called when :attr:`plan_eligible`; may raise
+        ``repro.nn.plan.PlanUnsupported`` if the traced computation uses
+        a primitive with no compiled kernel.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not plan-eligible")
+
+    def explain_batch_planned(self, plan, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> "List[SaliencyResult]":
+        """Like :meth:`explain_batch` but replaying a compiled plan from
+        :meth:`compile_plan` instead of recording a tape.  Raises
+        ``repro.nn.plan.PlanMismatch`` when the batch's shape or dtype
+        differs from the plan's (callers then fall back to the tape).
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not plan-eligible")
+
     def explain(self, image: np.ndarray, label: int,
                 target_label: Optional[int] = None) -> SaliencyResult:
         """Thin one-image wrapper over :meth:`explain_batch`."""

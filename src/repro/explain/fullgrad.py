@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
+from ..nn import plan
 from ..classifiers import SmallResNet
 from ..data.transforms import resize_bilinear
 from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
@@ -45,10 +46,28 @@ class FullGradExplainer(Explainer):
 
     name = "fullgrad"
     needs_gradients = True
+    plan_eligible = True
 
     def __init__(self, classifier: SmallResNet, normalize: bool = True):
         self.classifier = classifier
         self.normalize = normalize
+
+    def _aggregate(self, images: np.ndarray, x_grad: np.ndarray,
+                   feat_pairs) -> np.ndarray:
+        """Combine input and stage terms; shared by tape and plan paths.
+
+        ``feat_pairs`` is a sequence of (feature, feature_grad) arrays.
+        """
+        h, w = images.shape[2:]
+        # Input-gradient term: |x * dL/dx| summed over channels.
+        saliency = _postprocess((x_grad * images).sum(axis=1), self.normalize)
+        # Layer terms: |feat * dL/dfeat| channel-summed, upsampled.
+        for data, grad in feat_pairs:
+            term = np.abs(grad * data).sum(axis=1)          # (N, h', w')
+            if term.shape[1:] != (h, w):
+                term = resize_bilinear(term[:, None], h)[:, 0]
+            saliency = saliency + _postprocess(term, self.normalize)
+        return saliency
 
     def _saliency_batch(self, images: np.ndarray,
                         labels: np.ndarray) -> np.ndarray:
@@ -63,16 +82,51 @@ class FullGradExplainer(Explainer):
                 f.retain_grad()
             nn.class_score_sum(logits, labels).backward()
 
-        h, w = images.shape[2:]
-        # Input-gradient term: |x * dL/dx| summed over channels.
-        saliency = _postprocess((x.grad * images).sum(axis=1), self.normalize)
-        # Layer terms: |feat * dL/dfeat| channel-summed, upsampled.
-        for f in feats:
-            term = np.abs(f.grad * f.data).sum(axis=1)      # (N, h', w')
-            if term.shape[1:] != (h, w):
-                term = resize_bilinear(term[:, None], h)[:, 0]
-            saliency = saliency + _postprocess(term, self.normalize)
-        return saliency
+        return self._aggregate(images, x.grad,
+                               [(f.data, f.grad) for f in feats])
+
+    def compile_plan(self, images: np.ndarray, labels: np.ndarray):
+        """Trace the full forward with gradients requested at the input
+        and every residual stage.  Weight gradients are pruned by the
+        plan's demand analysis, matching the tape path's ``nn.frozen``.
+        """
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        self.classifier.eval()
+
+        def core(tr: plan.Tracer) -> None:
+            x = tr.input("x", images)
+            lab = tr.aux_input("labels", labels)
+            logits, feats = self.classifier.forward_with_all_features(x)
+            tr.grad("x_grad", x)
+            for i, f in enumerate(feats):
+                tr.output(f"f{i}", f)
+                tr.grad(f"f{i}_grad", f)
+            tr.loss(nn.class_score_sum(logits, lab))
+
+        return plan.trace(core)
+
+    def _saliency_batch_planned(self, compiled, images: np.ndarray,
+                                labels: np.ndarray) -> np.ndarray:
+        out = compiled.replay({"x": images, "labels": labels})
+        feat_pairs = []
+        i = 0
+        while f"f{i}" in out:
+            feat_pairs.append((out[f"f{i}"], out[f"f{i}_grad"]))
+            i += 1
+        return self._aggregate(images, out["x_grad"], feat_pairs)
+
+    def explain_batch_planned(self, compiled, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> List[SaliencyResult]:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        saliency = self._saliency_batch_planned(compiled, images, labels)
+        return [SaliencyResult(saliency[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None
@@ -125,6 +179,26 @@ class SmoothFullGradExplainer(FullGradExplainer):
             noise = rng.standard_normal(images.shape[1:]).astype(images.dtype)
             noisy = np.clip(images + self.noise_scale * noise[None], 0, 1)
             total += self._saliency_batch(noisy, labels)
+        total /= self.n_samples
+        return [SaliencyResult(total[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]
+
+    def explain_batch_planned(self, compiled, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> List[SaliencyResult]:
+        """One plan replay per noisy copy (same noise stream as the tape
+        path, so planned and taped maps agree to float tolerance)."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        rng = np.random.default_rng(self.seed)
+        total = np.zeros(images.shape[:1] + images.shape[2:])
+        for _ in range(self.n_samples):
+            noise = rng.standard_normal(images.shape[1:]).astype(images.dtype)
+            noisy = np.clip(images + self.noise_scale * noise[None], 0, 1)
+            total += self._saliency_batch_planned(compiled, noisy, labels)
         total /= self.n_samples
         return [SaliencyResult(total[i], int(labels[i]),
                                target_or_none(targets, i))

@@ -7,6 +7,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
+from ..nn import plan
 from ..classifiers import SmallResNet
 from ..data.transforms import resize_bilinear
 from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
@@ -26,9 +27,19 @@ class GradCAMExplainer(Explainer):
 
     name = "gradcam"
     needs_gradients = True
+    plan_eligible = True
 
     def __init__(self, classifier: SmallResNet):
         self.classifier = classifier
+
+    def _cams_from(self, feats_data: np.ndarray, feats_grad: np.ndarray,
+                   out_h: int) -> np.ndarray:
+        """Channel-weight + ReLU + upsample; shared by tape and plan."""
+        channel_weights = feats_grad.mean(axis=(2, 3))      # (N, C)
+        cams = np.maximum(
+            (channel_weights[:, :, None, None] * feats_data).sum(axis=1),
+            0.0)                                            # (N, h, w)
+        return resize_bilinear(cams[:, None], out_h)[:, 0]
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None
@@ -45,12 +56,42 @@ class GradCAMExplainer(Explainer):
             logits = self.classifier.head_from_features(feats)
             nn.class_score_sum(logits, labels).backward()
 
-        channel_weights = feats.grad.mean(axis=(2, 3))      # (N, C)
-        cams = np.maximum(
-            (channel_weights[:, :, None, None] * feats.data).sum(axis=1),
-            0.0)                                            # (N, h, w)
-        h = images.shape[2]
-        cams = resize_bilinear(cams[:, None], h)[:, 0]
+        cams = self._cams_from(feats.data, feats.grad, images.shape[2])
+        return [SaliencyResult(cams[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]
+
+    def compile_plan(self, images: np.ndarray, labels: np.ndarray):
+        """Trace trunk + head + class_score_sum with the gradient taken
+        at the last feature map.  Plan demand analysis restricts the
+        backward sweep to the head (weight gradients are never
+        scheduled), so ``nn.frozen`` is unnecessary inside the core.
+        """
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        self.classifier.eval()
+
+        def core(tr: plan.Tracer) -> None:
+            x = tr.input("x", images)
+            lab = tr.aux_input("labels", labels)
+            feats = self.classifier.features(x)
+            logits = self.classifier.head_from_features(feats)
+            tr.output("feats", feats)
+            tr.grad("feats_grad", feats)
+            tr.loss(nn.class_score_sum(logits, lab))
+
+        return plan.trace(core)
+
+    def explain_batch_planned(self, compiled, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> List[SaliencyResult]:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        out = compiled.replay({"x": images, "labels": labels})
+        cams = self._cams_from(out["feats"], out["feats_grad"],
+                               images.shape[2])
         return [SaliencyResult(cams[i], int(labels[i]),
                                target_or_none(targets, i))
                 for i in range(len(images))]

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from .. import nn
+from ..nn import plan
 from ..classifiers import SmallResNet
 from ..data import DataLoader, ImageDataset
 from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
@@ -76,6 +77,7 @@ class LAGANExplainer(Explainer):
     """Saliency = the trained mask-generator's predicted lesion mask."""
 
     name = "lagan"
+    plan_eligible = True
 
     def __init__(self, mask_generator: MaskGenerator,
                  classifier: SmallResNet):
@@ -91,6 +93,32 @@ class LAGANExplainer(Explainer):
         self.mask_generator.eval()
         with nn.no_grad():
             masks = self.mask_generator(nn.Tensor(images)).data[:, 0]
+        return [SaliencyResult(masks[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]
+
+    def compile_plan(self, images: np.ndarray, labels: np.ndarray):
+        """Forward-only plan over the mask generator (the classifier is
+        never run at explanation time)."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        self.mask_generator.eval()
+
+        def core(tr: plan.Tracer) -> None:
+            x = tr.input("x", images)
+            tr.output("mask", self.mask_generator(x))
+
+        return plan.trace(core)
+
+    def explain_batch_planned(self, compiled, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> list:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        # Replay output is a view into the plan arena; copy before the
+        # results outlive the next replay.
+        masks = compiled.replay({"x": images})["mask"][:, 0].copy()
         return [SaliencyResult(masks[i], int(labels[i]),
                                target_or_none(targets, i))
                 for i in range(len(images))]

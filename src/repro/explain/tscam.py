@@ -14,6 +14,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn import plan
 from ..data import DataLoader, ImageDataset
 from ..data.transforms import resize_bilinear
 from .base import Explainer, SaliencyResult, resolve_targets, target_or_none
@@ -112,9 +113,22 @@ class TSCAMExplainer(Explainer):
     """
 
     name = "tscam"
+    plan_eligible = True
 
     def __init__(self, tscam_model: PatchAttentionClassifier):
         self.model = tscam_model
+
+    def _couple(self, attention: np.ndarray, semantic: np.ndarray,
+                labels: np.ndarray, out_h: int) -> np.ndarray:
+        """Couple attention with label-selected token softmax scores;
+        shared by tape and plan paths."""
+        n = len(labels)
+        t = self.model.tokens_per_side
+        attn_maps = attention.reshape(n, t, t)
+        semantic = np.take_along_axis(
+            semantic, labels[:, None, None], axis=2)[:, :, 0]
+        coupled = attn_maps * semantic.reshape(n, t, t)
+        return resize_bilinear(coupled[:, None], out_h)[:, 0]
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       target_labels: Optional[np.ndarray] = None) -> list:
@@ -126,14 +140,39 @@ class TSCAMExplainer(Explainer):
         with nn.no_grad():
             __, attention, token_scores = self.model.forward_full(
                 nn.Tensor(images))
-        t = self.model.tokens_per_side
-        attn_maps = attention.data.reshape(n, t, t)
-        semantic = F.softmax(token_scores, axis=-1).data    # (N, T, classes)
-        semantic = np.take_along_axis(
-            semantic, labels[:, None, None], axis=2)[:, :, 0]
-        coupled = attn_maps * semantic.reshape(n, t, t)
-        h = images.shape[2]
-        saliency = resize_bilinear(coupled[:, None], h)[:, 0]
+        saliency = self._couple(attention.data,
+                                F.softmax(token_scores, axis=-1).data,
+                                labels, images.shape[2])
         return [SaliencyResult(saliency[i], int(labels[i]),
                                target_or_none(targets, i))
                 for i in range(n)]
+
+    def compile_plan(self, images: np.ndarray, labels: np.ndarray):
+        """Forward-only plan: the class-token attention row and the
+        token-score softmax are the only traced outputs (label selection
+        happens in numpy after replay, so one plan serves any labels).
+        The unused classification head is pruned as a dead op."""
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        self.model.eval()
+
+        def core(tr: plan.Tracer) -> None:
+            x = tr.input("x", images)
+            __, attention, token_scores = self.model.forward_full(x)
+            tr.output("attention", attention)
+            tr.output("semantic", F.softmax(token_scores, axis=-1))
+
+        return plan.trace(core)
+
+    def explain_batch_planned(self, compiled, images: np.ndarray,
+                              labels: np.ndarray,
+                              target_labels: Optional[np.ndarray] = None
+                              ) -> list:
+        images = np.asarray(images, dtype=nn.get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        targets = resolve_targets(labels, target_labels)
+        out = compiled.replay({"x": images})
+        saliency = self._couple(out["attention"], out["semantic"],
+                                labels, images.shape[2])
+        return [SaliencyResult(saliency[i], int(labels[i]),
+                               target_or_none(targets, i))
+                for i in range(len(images))]

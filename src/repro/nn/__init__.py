@@ -27,24 +27,30 @@ Performance contract
 """
 
 from . import functional
+from . import plan
 from .functional import class_score_sum
 from .blocks import MLP, DownBlock, ResidualBlock, UpBlock
 from .layers import (AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, Dropout,
                      Flatten, GlobalAvgPool2d, InstanceNorm2d, LayerNorm,
                      LeakyReLU, Linear, MaxPool2d, Module, Parameter, ReLU,
-                     Sequential, Sigmoid, Tanh, Upsample, frozen)
+                     Sequential, Sigmoid, Tanh, Upsample, frozen,
+                     frozen_fingerprint)
 from .losses import (accuracy, binary_real_fake_loss, cross_entropy, l1_loss,
                      mse_loss)
 from .optim import SGD, Adam, Optimizer
+from .plan import ExecutionPlan, PlanMismatch, PlanUnsupported, trace
 from .serialization import load_state, save_state
 from .tensor import (Tensor, as_tensor, enable_grad, get_default_dtype,
                      is_grad_enabled, no_grad, ones, randn,
-                     set_default_dtype, set_grad_enabled, zeros)
+                     register_dtype_listener, set_default_dtype,
+                     set_grad_enabled, unregister_dtype_listener, zeros)
 
 __all__ = [
     "Tensor", "as_tensor", "zeros", "ones", "randn",
     "no_grad", "enable_grad", "set_grad_enabled", "is_grad_enabled", "frozen",
+    "frozen_fingerprint",
     "set_default_dtype", "get_default_dtype",
+    "register_dtype_listener", "unregister_dtype_listener",
     "Module", "Parameter", "Sequential", "Linear", "Conv2d",
     "ConvTranspose2d", "InstanceNorm2d", "BatchNorm2d", "LayerNorm",
     "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Flatten", "Dropout",
@@ -53,4 +59,5 @@ __all__ = [
     "SGD", "Adam", "Optimizer",
     "l1_loss", "mse_loss", "cross_entropy", "binary_real_fake_loss",
     "accuracy", "class_score_sum", "save_state", "load_state", "functional",
+    "plan", "trace", "ExecutionPlan", "PlanUnsupported", "PlanMismatch",
 ]

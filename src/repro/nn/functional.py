@@ -141,7 +141,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             gcols = np.matmul(w2d.T, grad2d)                # (N, C*k*k, L)
             x._accumulate(col2im(gcols, x.shape, kernel, stride, padding))
 
-    return Tensor._make(out, parents, backward)
+    return Tensor._make(out, parents, backward,
+                        op="conv2d",
+                        meta={"stride": stride, "padding": padding})
 
 
 def conv2d_transpose(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
@@ -182,7 +184,9 @@ def conv2d_transpose(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
 
-    return Tensor._make(out, parents, backward)
+    return Tensor._make(out, parents, backward,
+                        op="conv2d_transpose",
+                        meta={"stride": stride, "padding": padding})
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +207,9 @@ def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
         gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
         x._accumulate(gx.reshape(x.shape))
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward,
+                        op="avg_pool2d",
+                        meta={"kernel": kernel, "stride": stride})
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
@@ -224,7 +230,9 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
         gx = col2im(gcols, (n * c, 1, h, w), kernel, stride, 0)
         x._accumulate(gx.reshape(x.shape))
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward,
+                        op="max_pool2d",
+                        meta={"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -241,7 +249,8 @@ def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
         g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
         x._accumulate(g)
 
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward,
+                        op="upsample2d", meta={"scale": scale})
 
 
 # ----------------------------------------------------------------------
@@ -268,7 +277,8 @@ def class_score_sum(logits: Tensor, labels: np.ndarray) -> Tensor:
         g[rows, labels] = grad
         logits._accumulate(g)
 
-    return Tensor._make(np.asarray(out), (logits,), backward)
+    return Tensor._make(np.asarray(out), (logits,), backward,
+                        op="class_score_sum", meta={"labels": labels})
 
 
 # ----------------------------------------------------------------------
@@ -287,7 +297,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         inner = (grad * out).sum(axis=axis, keepdims=True)
         x._accumulate(out * (grad - inner))
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward,
+                        op="softmax", meta={"axis": axis})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -299,7 +310,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - np.exp(out)
                       * grad.sum(axis=axis, keepdims=True))
-    return Tensor._make(out, (x,), backward)
+    return Tensor._make(out, (x,), backward,
+                        op="log_softmax", meta={"axis": axis})
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator,

@@ -41,6 +41,13 @@ class frozen:
     _lock = threading.Lock()
     #: id(param) -> [active scope count, original flag, param ref]
     _active: Dict[int, list] = {}
+    #: Callbacks fired (no args) after any 0->1 or 1->0 refcount
+    #: transition — i.e. whenever the *set* of frozen parameters changed.
+    #: The serving layer's PlanCache listens here: compiled plans record
+    #: the frozen set in their cache key, so a transition must dirty the
+    #: ambient fingerprint.  Fired outside the lock (listeners may take
+    #: their own locks).
+    _listeners: List = []
 
     def __init__(self, *modules: "Module"):
         self.params = []
@@ -52,6 +59,7 @@ class frozen:
                     self.params.append(p)
 
     def __enter__(self) -> "frozen":
+        changed = False
         with frozen._lock:
             for p in self.params:
                 entry = frozen._active.get(id(p))
@@ -59,11 +67,15 @@ class frozen:
                     # Keep a reference so id() stays valid for the entry.
                     frozen._active[id(p)] = [1, p.requires_grad, p]
                     p.requires_grad = False
+                    changed = True
                 else:
                     entry[0] += 1
+        if changed:
+            frozen._notify()
         return self
 
     def __exit__(self, *exc) -> bool:
+        changed = False
         with frozen._lock:
             for p in self.params:
                 entry = frozen._active[id(p)]
@@ -71,7 +83,39 @@ class frozen:
                 if entry[0] == 0:
                     p.requires_grad = entry[1]
                     del frozen._active[id(p)]
+                    changed = True
+        if changed:
+            frozen._notify()
         return False
+
+    @staticmethod
+    def _notify() -> None:
+        for fn in list(frozen._listeners):
+            fn()
+
+    @staticmethod
+    def register_listener(fn) -> None:
+        """Register ``fn()`` to fire after frozen-set transitions."""
+        frozen._listeners.append(fn)
+
+    @staticmethod
+    def unregister_listener(fn) -> None:
+        try:
+            frozen._listeners.remove(fn)
+        except ValueError:
+            pass
+
+
+def frozen_fingerprint() -> frozenset:
+    """Identity of the currently-frozen parameter set.
+
+    Execution plans compiled while a parameter set is frozen are only
+    replayable under the same set (the trace baked in which gradients
+    exist), so the serving-layer plan cache stamps entries with this
+    fingerprint and re-validates it on every lookup.
+    """
+    with frozen._lock:
+        return frozenset(frozen._active.keys())
 
 
 class Parameter(Tensor):

@@ -25,6 +25,12 @@ Design notes
 * Dtype regime: new tensors built from scalars/lists and fresh parameters
   default to float32 (``set_default_dtype`` switches to float64 for
   gradient checking); existing float arrays are never silently recast.
+* Tracing: every primitive routes through :meth:`Tensor._make` with a
+  symbolic ``op`` name and the metadata its kernel/VJP need.  When a
+  (thread-local) trace hook is installed — see :mod:`repro.nn.plan` —
+  ``_make`` reports each op to it, letting a single instrumented forward
+  pass be compiled into a tape-free execution plan.  With no hook
+  installed the cost is one thread-local attribute read per op.
 """
 
 from __future__ import annotations
@@ -54,10 +60,56 @@ class _GradState(threading.local):
 _GRAD_STATE = _GradState()
 
 
+class _TraceState(threading.local):
+    """Per-thread trace hook consulted by :meth:`Tensor._make`.
+
+    ``hook`` is ``None`` except while :func:`repro.nn.plan.trace` is
+    instrumenting a forward pass on this thread; then it is an object
+    with a ``record(op, out, parents, meta)`` method."""
+
+    hook = None
+
+
+_TRACE = _TraceState()
+
+
+def _set_trace_hook(hook) -> None:
+    """Install (or clear, with ``None``) the calling thread's trace hook."""
+    _TRACE.hook = hook
+
+
+def _get_trace_hook():
+    return _TRACE.hook
+
+
+#: Callbacks fired (with the new dtype) whenever ``set_default_dtype``
+#: actually changes the default.  The serving layer's PlanCache registers
+#: here: compiled plans bake buffer dtypes, so a dtype flip must drop them.
+_DTYPE_LISTENERS: list = []
+
+
+def register_dtype_listener(fn: Callable) -> Callable:
+    """Register ``fn(new_dtype)`` to fire on default-dtype changes."""
+    _DTYPE_LISTENERS.append(fn)
+    return fn
+
+
+def unregister_dtype_listener(fn: Callable) -> None:
+    try:
+        _DTYPE_LISTENERS.remove(fn)
+    except ValueError:
+        pass
+
+
 def set_default_dtype(dtype) -> None:
     """Set the dtype used when tensors are created from python scalars/lists."""
     global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = np.dtype(dtype)
+    new = np.dtype(dtype)
+    changed = new != _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = new
+    if changed:
+        for fn in list(_DTYPE_LISTENERS):
+            fn(new)
 
 
 def get_default_dtype():
@@ -225,21 +277,32 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
+              backward: Callable[[np.ndarray], None],
+              op: Optional[str] = None, meta: Optional[dict] = None) -> "Tensor":
         """Create a result tensor wired into the autodiff tape.
 
         Under :class:`no_grad` the result is a plain untracked tensor:
         no parent links, no backward closure, so the whole upstream graph
         (including any arrays the closure captured) is released as soon
         as the caller drops its references.
+
+        ``op``/``meta`` name the primitive symbolically for the trace
+        hook (see :mod:`repro.nn.plan`); they are ignored on the normal
+        tape path.
         """
+        hook = _TRACE.hook
         if not _GRAD_STATE.enabled:
-            return Tensor(data)
+            out = Tensor(data)
+            if hook is not None:
+                hook.record(op, out, parents, meta)
+            return out
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
+        if hook is not None:
+            hook.record(op, out, parents, meta)
         return out
 
     def detach(self) -> "Tensor":
@@ -250,7 +313,7 @@ class Tensor:
         """Return a copy participating in the graph (identity op)."""
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
-        return Tensor._make(self.data.copy(), (self,), backward)
+        return Tensor._make(self.data.copy(), (self,), backward, op="clone")
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
@@ -325,14 +388,14 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = Tensor._coerce(other)
@@ -341,7 +404,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(-grad, other.shape))
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor._coerce(other).__sub__(self)
@@ -353,7 +416,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad * other.data, self.shape))
             other._accumulate(_unbroadcast(grad * self.data, other.shape))
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -365,7 +428,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad / other.data, self.shape))
             other._accumulate(
                 _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor._coerce(other).__truediv__(self)
@@ -377,7 +440,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="pow", meta={"exponent": exponent})
 
     # ------------------------------------------------------------------
     # unary math
@@ -387,45 +451,45 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return Tensor._make(np.log(self.data), (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sqrt")
 
     def abs(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.sign(self.data))
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(np.abs(self.data), (self,), backward, op="abs")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data ** 2))
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
-        return Tensor._make(self.data * mask, (self,), backward)
+        return Tensor._make(self.data * mask, (self,), backward, op="relu")
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         mask = self.data > 0
@@ -434,14 +498,16 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * scale)
-        return Tensor._make(self.data * scale, (self,), backward)
+        return Tensor._make(self.data * scale, (self,), backward,
+                            op="leaky_relu", meta={"slope": negative_slope})
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data > low) & (self.data < high)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward,
+                            op="clip", meta={"low": low, "high": high})
 
     # ------------------------------------------------------------------
     # reductions
@@ -454,7 +520,8 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="sum", meta={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -485,7 +552,8 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
                 else mask.sum()
             self._accumulate(mask * g / counts)
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="max", meta={"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # shape manipulation
@@ -497,7 +565,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return Tensor._make(self.data.reshape(shape), (self,), backward,
+                            op="reshape")
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -508,7 +577,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
-        return Tensor._make(self.data.transpose(axes), (self,), backward)
+        return Tensor._make(self.data.transpose(axes), (self,), backward,
+                            op="transpose", meta={"axes": tuple(axes)})
 
     def flatten(self, start_dim: int = 1) -> "Tensor":
         lead = self.shape[:start_dim]
@@ -521,7 +591,8 @@ class Tensor:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
             self._accumulate(full)
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="getitem", meta={"index": index})
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two axes symmetrically (NCHW images)."""
@@ -533,7 +604,8 @@ class Tensor:
             slices = tuple([slice(None)] * (self.ndim - 2)
                            + [slice(padding, -padding)] * 2)
             self._accumulate(grad[slices])
-        return Tensor._make(np.pad(self.data, pad_width), (self,), backward)
+        return Tensor._make(np.pad(self.data, pad_width), (self,), backward,
+                            op="pad2d", meta={"padding": padding})
 
     # ------------------------------------------------------------------
     # linear algebra
@@ -549,7 +621,7 @@ class Tensor:
             if other.requires_grad:
                 gb = np.swapaxes(self.data, -1, -2) @ grad
                 other._accumulate(_unbroadcast(gb, other.shape))
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="matmul")
 
     __matmul__ = matmul
 
@@ -568,7 +640,8 @@ class Tensor:
                 slicer = [slice(None)] * grad.ndim
                 slicer[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(slicer)])
-        return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._make(out_data, tuple(tensors), backward,
+                            op="concat", meta={"axis": axis})
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -579,7 +652,8 @@ class Tensor:
             parts = np.split(grad, len(tensors), axis=axis)
             for t, g in zip(tensors, parts):
                 t._accumulate(np.squeeze(g, axis=axis))
-        return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._make(out_data, tuple(tensors), backward,
+                            op="stack", meta={"axis": axis})
 
 
 def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:

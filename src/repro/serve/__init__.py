@@ -26,6 +26,22 @@ The package splits the serving layer into four pieces:
   overhead threads cannot parallelize).
 * :mod:`~repro.serve.worker` — the process-worker side: the
   :class:`EngineSpec` recipe, the payload codec, and the worker loop.
+* :mod:`~repro.serve.plans` — :class:`PlanCache`: compiled execution
+  plans for the shape-repetitive hot path.  The first batch of a
+  plan-eligible method on a new ``(method, batch_shape, dtype)`` key is
+  traced through :mod:`repro.nn.plan` into a buffer-arena plan; every
+  later batch of that key **replays** tape-free (no Tensor objects, no
+  closures, ``out=`` into preallocated buffers).  Plans invalidate on
+  ``nn.set_default_dtype`` (all entries dropped) and revalidate their
+  compile-time ``nn.frozen`` fingerprint on each lookup (a persisting
+  frozen-set change falls back to the tape until it reverts).
+  Ineligible methods (LIME, occlusion, StyLEx, ICAM, CAE — data-
+  dependent control flow) and any shape/dtype mismatch run the tape,
+  counted in ``stats()["plans"]["fallbacks"]``.  The in-process engine
+  (serial/threaded executors) holds one cache; **process workers
+  compile per-replica** — each worker owns a private ``PlanCache``
+  because buffer arenas cannot cross process boundaries, and reports
+  its counters through the executor's ``stats`` channel.
 * :mod:`~repro.serve.engine` — the :class:`ExplainEngine` façade tying
   them together behind ``submit`` / ``submit_async`` / ``flush`` /
   ``drain`` / ``explain`` / ``explain_batch``.  Async ingestion is
@@ -65,6 +81,7 @@ from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
                      PendingExplain)
 from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
                        make_executor)
+from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
                      demo_spec)
@@ -76,6 +93,6 @@ __all__ = [
     "image_digest", "request_key",
     "MicroBatchScheduler", "ExplainRequest", "QueueKey",
     "SerialExecutor", "ThreadedExecutor", "ProcessExecutor",
-    "make_executor",
+    "make_executor", "PlanCache",
     "EngineSpec", "WorkerBatchError", "WorkerCrashed", "demo_spec",
 ]

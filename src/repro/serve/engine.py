@@ -47,6 +47,7 @@ from ..explain.base import Explainer, SaliencyResult
 from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
                     image_digest, request_key)
 from .executor import make_executor
+from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 from .worker import WorkerCrashed
 
@@ -180,6 +181,15 @@ class ExplainEngine:
         ``run_batch`` remote-compute channel, the engine ships each
         batch's compute to it as a compact payload and keeps all
         bookkeeping (cache, dedup fan-out, admission) in-process.
+    plans:
+        Compiled execution plans (default on): plan-eligible methods
+        are traced once per ``(method, batch_shape, dtype)`` key and
+        replayed tape-free thereafter through a
+        :class:`~repro.serve.plans.PlanCache`; everything else (and any
+        shape/dtype or frozen-set mismatch) falls back to the tape,
+        counted in ``stats()["plans"]``.  Process workers keep their own
+        per-replica caches — this flag does not affect them.  ``False``
+        restores the always-tape behaviour.
     """
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
@@ -189,7 +199,7 @@ class ExplainEngine:
                  cache_size: int = 256, cache_shards: int = 1,
                  eviction: str = "lru",
                  max_pending: Optional[int] = None, policy: str = "block",
-                 executor=None):
+                 executor=None, plans: bool = True):
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
         if policy not in ADMISSION_POLICIES:
@@ -224,6 +234,7 @@ class ExplainEngine:
         # audited for internal thread safety, so concurrency comes from
         # running *different* methods (or shape-queues) in parallel.
         self._method_locks = {name: threading.Lock() for name in explainers}
+        self._plan_cache = PlanCache() if plans else None
         self.batches_run = 0
         self.requests_served = 0
 
@@ -272,6 +283,8 @@ class ExplainEngine:
                 "batch_limits": self._scheduler.batch_limits(),
                 "eviction": self.cache.policy,
                 "executor": self._executor.name,
+                "plans": (self._plan_cache.stats()
+                          if self._plan_cache is not None else None),
             }
 
     def pending_count(self, method: Optional[str] = None) -> int:
@@ -307,6 +320,8 @@ class ExplainEngine:
             # propagating interrupt — so close() never leaks them.
             self._closed = True
             self._executor.shutdown()
+            if self._plan_cache is not None:
+                self._plan_cache.close()
         if error is not None:
             raise error
 
@@ -374,7 +389,15 @@ class ExplainEngine:
                 # priorities and shrinks the adaptive batch limit under
                 # load.
                 start = time.perf_counter()
-                if explainer.needs_gradients:
+                if self._plan_cache is not None:
+                    # Compiled-plan path: replay when a plan exists for
+                    # this (method, shape, dtype) key, compile on first
+                    # sight (billed to this batch — an honest cost),
+                    # tape otherwise.  The cache applies the
+                    # needs_gradients/no_grad contract to tape runs.
+                    results = self._plan_cache.run(explainer, images,
+                                                   labels, targets)
+                elif explainer.needs_gradients:
                     results = explainer.explain_batch(images, labels,
                                                       targets)
                 else:

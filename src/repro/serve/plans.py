@@ -1,0 +1,194 @@
+"""Serving-layer cache of compiled :mod:`repro.nn.plan` execution plans.
+
+Serving traffic is shape-repetitive: the engine runs the same
+``(method, batch_shape)`` micro-batch over and over, yet the tape path
+re-records autograd bookkeeping and re-allocates every intermediate on
+each batch.  :class:`PlanCache` turns that repetition into compiled-plan
+replays:
+
+* **Key** — ``(method, batch_shape, dtype)``.  On first sight of a key
+  the explainer's hot path is traced and compiled
+  (:meth:`~repro.explain.base.Explainer.compile_plan`); thereafter the
+  batch replays through the plan's buffer arena with no Tensor objects,
+  no tape, and no per-batch allocation.
+* **Frozen-set revalidation** — each entry records the
+  :func:`~repro.nn.frozen_fingerprint` at compile time.  A
+  ``nn.frozen`` refcount transition (0→1 or 1→0) fires a listener that
+  refreshes the cache's ambient fingerprint; a lookup whose ambient
+  fingerprint differs from the entry's falls back to the tape (counted,
+  entry retained — the entry becomes valid again when the frozen set
+  reverts).  Transient ``with nn.frozen(...)`` scopes *inside* tape
+  explainers therefore never invalidate anything: the fingerprint is
+  only consulted between batches.
+* **Dtype invalidation** — ``nn.set_default_dtype`` fires a listener
+  that drops every entry (and the negative cache): plans bake buffer
+  dtypes at compile time.
+* **Fallbacks** — plan-ineligible explainers, ``PlanUnsupported``
+  compiles (negative-cached per method), fingerprint mismatches, and
+  ``PlanMismatch`` replays all run the normal tape path and bump the
+  ``fallbacks`` counter, so dashboards can see when the hot path is
+  *not* compiled.
+
+Concurrency: :meth:`run` may compile concurrently for different
+methods, but callers must not replay one cache key from two threads at
+once (a replay mutates the plan's arena).  Both executors satisfy this
+already — the in-process engine holds a per-method lock around batch
+compute, and each process worker runs single-threaded on its own
+replica (with its own per-replica ``PlanCache``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..explain.base import Explainer, SaliencyResult
+from ..nn.plan import PlanMismatch, PlanUnsupported
+
+__all__ = ["PlanCache"]
+
+PlanKey = Tuple[str, Tuple[int, ...], str]
+
+
+class PlanCache:
+    """Compile-once / replay-thereafter cache (see module docstring).
+
+    ``max_plans`` bounds live entries (LRU eviction); evicted plans free
+    their buffer arenas.  Call :meth:`close` when done to unregister the
+    invalidation listeners (the engine does this from its own
+    ``close()``).
+    """
+
+    def __init__(self, max_plans: int = 32):
+        if max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self.max_plans = max_plans
+        self._lock = threading.RLock()
+        #: key -> (ExecutionPlan, frozen fingerprint at compile time)
+        self._plans: "OrderedDict[PlanKey, Tuple[object, frozenset]]" = \
+            OrderedDict()
+        #: methods whose compile raised PlanUnsupported — don't retry.
+        self._unsupported: set = set()
+        self.compiled = 0
+        self.replay_hits = 0
+        self.fallbacks = 0
+        self.mismatches = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self._ambient = nn.frozen_fingerprint()
+        self._closed = False
+        nn.frozen.register_listener(self._on_frozen_transition)
+        nn.register_dtype_listener(self._on_dtype_change)
+
+    # -- invalidation listeners ----------------------------------------
+    def _on_frozen_transition(self) -> None:
+        with self._lock:
+            self._ambient = nn.frozen_fingerprint()
+
+    def _on_dtype_change(self, _dtype) -> None:
+        with self._lock:
+            self.invalidations += len(self._plans)
+            self._plans.clear()
+            self._unsupported.clear()
+
+    def close(self) -> None:
+        """Unregister listeners and drop all plans (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._plans.clear()
+        nn.frozen.unregister_listener(self._on_frozen_transition)
+        nn.unregister_dtype_listener(self._on_dtype_change)
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            arena = sum(plan.arena_bytes
+                        for plan, _fp in self._plans.values())
+            return {
+                "compiled": self.compiled,
+                "replay_hits": self.replay_hits,
+                "fallbacks": self.fallbacks,
+                "mismatches": self.mismatches,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "plans": len(self._plans),
+                "arena_bytes": arena,
+            }
+
+    # -- the hot path --------------------------------------------------
+    def run(self, explainer: Explainer, images: np.ndarray,
+            labels: np.ndarray, targets: Optional[np.ndarray]
+            ) -> List[SaliencyResult]:
+        """Execute one micro-batch through a compiled plan when
+        possible, the tape otherwise (applying the engine's
+        ``needs_gradients``/``no_grad`` contract to tape runs)."""
+        plan = self._lookup_or_compile(explainer, images, labels)
+        if plan is not None:
+            try:
+                results = explainer.explain_batch_planned(
+                    plan, images, labels, targets)
+            except PlanMismatch:
+                with self._lock:
+                    self.mismatches += 1
+            else:
+                with self._lock:
+                    self.replay_hits += 1
+                return results
+        with self._lock:
+            self.fallbacks += 1
+        return self._run_tape(explainer, images, labels, targets)
+
+    @staticmethod
+    def _run_tape(explainer: Explainer, images: np.ndarray,
+                  labels: np.ndarray, targets: Optional[np.ndarray]
+                  ) -> List[SaliencyResult]:
+        if getattr(explainer, "needs_gradients", False):
+            return explainer.explain_batch(images, labels, targets)
+        with nn.no_grad():
+            return explainer.explain_batch(images, labels, targets)
+
+    def _lookup_or_compile(self, explainer: Explainer, images: np.ndarray,
+                           labels: np.ndarray):
+        """The plan for this batch's key, compiling on first sight;
+        ``None`` means "run the tape" (ineligible, unsupported, or
+        frozen-set mismatch)."""
+        # getattr: stub/demo explainers may predate the Explainer base.
+        if not getattr(explainer, "plan_eligible", False):
+            return None
+        method = explainer.name
+        key: PlanKey = (method, tuple(np.shape(images)),
+                        str(np.asarray(images).dtype))
+        with self._lock:
+            if method in self._unsupported:
+                return None
+            entry = self._plans.get(key)
+            if entry is not None:
+                plan, fingerprint = entry
+                if fingerprint != self._ambient:
+                    return None            # counted as a fallback by run()
+                self._plans.move_to_end(key)
+                return plan
+            fingerprint = self._ambient
+        # Compile outside the lock: tracing runs the full model and must
+        # not serialize other methods' lookups behind it.  The engine's
+        # per-method lock already prevents duplicate compiles of one key.
+        try:
+            plan = explainer.compile_plan(images, labels)
+        except PlanUnsupported:
+            with self._lock:
+                self._unsupported.add(method)
+            return None
+        with self._lock:
+            self.compiled += 1
+            self._plans[key] = (plan, fingerprint)
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan

@@ -161,8 +161,15 @@ def worker_main(conn, spec: EngineSpec) -> None:
     """Worker-process entry point: materialize the spec once, then
     serve ``batch`` / ``stats`` / ``stop`` messages until the parent
     hangs up.  Runs single-threaded in its own interpreter, so there is
-    no GIL to share with the parent or with sibling workers."""
-    from .. import nn
+    no GIL to share with the parent or with sibling workers.
+
+    Each worker holds its own :class:`~repro.serve.plans.PlanCache`:
+    plans compile **per replica** (buffer arenas cannot cross process
+    boundaries), so after each worker's first batch of a
+    (method, shape) key its hot path replays tape-free.  The ``stats``
+    reply carries the replica's plan counters.
+    """
+    from .plans import PlanCache
 
     try:
         _classifier, explainers = spec.materialize()
@@ -173,6 +180,7 @@ def worker_main(conn, spec: EngineSpec) -> None:
             conn.close()
         return
     conn.send(("ready", os.getpid()))
+    plan_cache = PlanCache()
     batches = maps = 0
     try:
         while True:
@@ -185,19 +193,18 @@ def worker_main(conn, spec: EngineSpec) -> None:
                 break
             if kind == "stats":
                 conn.send(("stats", {"pid": os.getpid(),
-                                     "batches": batches, "maps": maps}))
+                                     "batches": batches, "maps": maps,
+                                     "plans": plan_cache.stats()}))
                 continue
             method, images, labels, targets = decode_batch(message)
             try:
                 explainer = explainers[method]
                 start = time.perf_counter()
-                if explainer.needs_gradients:
-                    results = explainer.explain_batch(images, labels,
-                                                      targets)
-                else:
-                    with nn.no_grad():
-                        results = explainer.explain_batch(images, labels,
-                                                          targets)
+                # Plan replay when this replica has compiled the key;
+                # the cache falls back to the tape (applying the
+                # needs_gradients/no_grad contract) otherwise.
+                results = plan_cache.run(explainer, images, labels,
+                                         targets)
                 batch_ms = (time.perf_counter() - start) * 1000.0
             except BaseException as exc:   # noqa: BLE001 — ship it back
                 conn.send(("error", method, type(exc).__name__, str(exc),
@@ -207,6 +214,7 @@ def worker_main(conn, spec: EngineSpec) -> None:
                 maps += len(images)
                 conn.send(("ok", encode_results(results), batch_ms))
     finally:
+        plan_cache.close()
         conn.close()
 
 

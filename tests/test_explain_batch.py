@@ -118,6 +118,49 @@ class TestBatchSingleParity:
         assert not np.allclose(results[0].saliency, results[2].saliency)
 
 
+#: Methods whose hot path compiles into an execution plan; the rest have
+#: data-dependent control flow (sampling, sweeps, optimisation loops).
+PLAN_ELIGIBLE = ("gradcam", "fullgrad", "simple_fullgrad",
+                 "smooth_fullgrad", "tscam", "lagan")
+
+
+class TestPlanTapeParity:
+    """Compiled-plan replay must reproduce the tape for every eligible
+    method; ineligible methods must say so loudly."""
+
+    @pytest.mark.parametrize("name", TABLE2_METHODS + ("occlusion",))
+    def test_plan_vs_tape(self, make_explainer, mixed_batch, name):
+        images, labels = mixed_batch
+        explainer = make_explainer(name)
+        if name not in PLAN_ELIGIBLE:
+            assert not explainer.plan_eligible
+            with pytest.raises(NotImplementedError):
+                explainer.compile_plan(images, labels)
+            return
+        assert explainer.plan_eligible
+        plan = explainer.compile_plan(images, labels)
+        tape = explainer.explain_batch(images, labels)
+        planned = explainer.explain_batch_planned(plan, images, labels)
+        # Second replay through the same arena: results must not alias
+        # buffers the next replay overwrites.
+        replayed = explainer.explain_batch_planned(plan, images, labels)
+        assert len(planned) == len(images)
+        for t, p, p2 in zip(tape, planned, replayed):
+            assert p.label == t.label
+            assert p.target_label == t.target_label
+            assert_saliency_close(p.saliency, t.saliency)
+            np.testing.assert_array_equal(p.saliency, p2.saliency)
+
+    def test_plan_mismatch_on_shape_change(self, make_explainer,
+                                           mixed_batch):
+        from repro.nn.plan import PlanMismatch
+        images, labels = mixed_batch
+        explainer = make_explainer("gradcam")
+        plan = explainer.compile_plan(images, labels)
+        with pytest.raises(PlanMismatch):
+            explainer.explain_batch_planned(plan, images[:2], labels[:2])
+
+
 class TestSaliencyResultRobustness:
     def test_normalized_handles_nan(self):
         from repro.explain import SaliencyResult

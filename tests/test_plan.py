@@ -1,0 +1,303 @@
+"""Unit tests for ``repro.nn.plan`` trace/replay and the serving-layer
+:class:`~repro.serve.plans.PlanCache` (compile-once / replay-thereafter,
+frozen-set revalidation, dtype invalidation, LRU bounds).
+
+Explainer-level plan-vs-tape parity for all ten Table II methods lives
+in ``test_explain_batch.py``; this file covers the machinery itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.plan import PlanMismatch, PlanUnsupported, trace
+from repro.serve.plans import PlanCache
+
+
+def _mlp(rng):
+    l1 = nn.Linear(16, 8, rng=rng)
+    l2 = nn.Linear(8, 4, rng=rng)
+    return l1, l2
+
+
+def _tape_run(l1, l2, images, labels):
+    x = nn.Tensor(images, requires_grad=True)
+    hidden = l1(x).relu()
+    loss = nn.class_score_sum(l2(hidden), labels)
+    loss.backward()
+    return hidden.data, float(loss.data), x.grad
+
+
+class TestTraceReplay:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.l1, self.l2 = _mlp(rng)
+        self.images = rng.standard_normal((3, 16)).astype(np.float32)
+        self.labels = np.array([0, 3, 1], dtype=np.int64)
+
+    def _compile(self):
+        def core(tr):
+            x = tr.input("x", self.images)
+            lab = tr.aux_input("labels", self.labels)
+            hidden = self.l1(x).relu()
+            tr.output("hidden", hidden)
+            tr.grad("x_grad", x)
+            tr.loss(nn.class_score_sum(self.l2(hidden), lab))
+        return trace(core)
+
+    def test_replay_matches_tape_across_inputs(self):
+        plan = self._compile()
+        rng = np.random.default_rng(7)
+        for _ in range(2):                    # two fresh batches, one plan
+            images = rng.standard_normal((3, 16)).astype(np.float32)
+            labels = rng.integers(0, 4, size=3).astype(np.int64)
+            out = plan.replay({"x": images, "labels": labels})
+            hidden, loss, x_grad = _tape_run(self.l1, self.l2,
+                                             images, labels)
+            np.testing.assert_allclose(out["hidden"], hidden, atol=1e-6)
+            np.testing.assert_allclose(out["x_grad"], x_grad, atol=1e-6)
+
+    def test_replay_rejects_shape_dtype_and_missing_input(self):
+        plan = self._compile()
+        with pytest.raises(PlanMismatch):
+            plan.replay({"x": self.images[:2], "labels": self.labels[:2]})
+        with pytest.raises(PlanMismatch):
+            plan.replay({"x": self.images.astype(np.float64),
+                         "labels": self.labels})
+        with pytest.raises(PlanMismatch):
+            plan.replay({"x": self.images})
+
+    def test_baked_labels_are_unsupported(self):
+        """class_score_sum labels must come through aux_input — a plan
+        that baked the trace batch's labels would silently explain the
+        wrong classes on replay."""
+        def core(tr):
+            x = tr.input("x", self.images)
+            hidden = self.l1(x).relu()
+            tr.grad("x_grad", x)
+            tr.loss(nn.class_score_sum(self.l2(hidden), self.labels))
+        with pytest.raises(PlanUnsupported):
+            trace(core)
+
+    def test_non_scalar_loss_rejected(self):
+        def core(tr):
+            x = tr.input("x", self.images)
+            tr.loss(self.l1(x))
+        with pytest.raises(PlanUnsupported):
+            trace(core)
+
+    def test_plan_without_outputs_rejected(self):
+        def core(tr):
+            x = tr.input("x", self.images)
+            self.l1(x)
+        with pytest.raises(PlanUnsupported):
+            trace(core)
+
+    def test_all_const_subgraphs_fold(self):
+        def core(tr):
+            x = tr.input("x", self.images)
+            scale = nn.Tensor(2.0) * nn.Tensor(3.0)   # constant subgraph
+            tr.output("y", x * scale)
+        plan = trace(core)
+        assert plan.folded_ops >= 1
+        out = plan.replay({"x": self.images})
+        np.testing.assert_allclose(out["y"], self.images * 6.0, atol=1e-6)
+
+    def test_replay_returns_arena_views(self):
+        plan = self._compile()
+        first = plan.replay({"x": self.images, "labels": self.labels})
+        kept = first["hidden"].copy()
+        other = np.asarray(self.images * 3.0, dtype=np.float32)
+        plan.replay({"x": other, "labels": self.labels})
+        # Documented contract: returned arrays are views into the arena,
+        # valid until the next replay.
+        assert not np.array_equal(first["hidden"], kept)
+
+
+class _TinyPlanExplainer:
+    """Minimal plan-eligible explainer over a linear head (no conv cost:
+    keeps the cache tests fast and model-free)."""
+
+    name = "tinyplan"
+    needs_gradients = True
+    plan_eligible = True
+    compile_calls = 0
+
+    def __init__(self, layer):
+        self.layer = layer
+
+    def _results(self, maps, labels):
+        from repro.explain.base import SaliencyResult
+        return [SaliencyResult(maps[i].reshape(4, 4), int(labels[i]))
+                for i in range(len(labels))]
+
+    def explain_batch(self, images, labels, target_labels=None):
+        x = nn.Tensor(np.asarray(images), requires_grad=True)
+        nn.class_score_sum(self.layer(x), np.asarray(labels)).backward()
+        return self._results(x.grad, labels)
+
+    def compile_plan(self, images, labels):
+        type(self).compile_calls += 1
+
+        def core(tr):
+            x = tr.input("x", np.asarray(images))
+            lab = tr.aux_input("labels", np.asarray(labels))
+            tr.grad("x_grad", x)
+            tr.loss(nn.class_score_sum(self.layer(x), lab))
+        return trace(core)
+
+    def explain_batch_planned(self, plan, images, labels,
+                              target_labels=None):
+        out = plan.replay({"x": np.asarray(images),
+                           "labels": np.asarray(labels)})
+        return self._results(out["x_grad"].copy(), labels)
+
+
+class _TapeOnlyExplainer:
+    name = "tapeonly"
+    needs_gradients = False
+    plan_eligible = False
+
+    def explain_batch(self, images, labels, target_labels=None):
+        from repro.explain.base import SaliencyResult
+        assert not nn.is_grad_enabled()       # cache must apply no_grad
+        return [SaliencyResult(np.zeros(images.shape[2:]), int(y))
+                for y in labels]
+
+
+@pytest.fixture()
+def tiny_plan_setup():
+    rng = np.random.default_rng(1)
+    layer = nn.Linear(16, 4, rng=rng)
+    explainer = _TinyPlanExplainer(layer)
+    images = rng.standard_normal((3, 16)).astype(np.float32)
+    labels = np.array([0, 2, 1], dtype=np.int64)
+    cache = PlanCache()
+    yield cache, explainer, images, labels
+    cache.close()
+
+
+class TestPlanCache:
+    def test_compile_once_then_replay(self, tiny_plan_setup):
+        cache, explainer, images, labels = tiny_plan_setup
+        before = _TinyPlanExplainer.compile_calls
+        tape = explainer.explain_batch(images, labels)
+        for _ in range(3):
+            results = cache.run(explainer, images, labels, None)
+        assert _TinyPlanExplainer.compile_calls == before + 1
+        stats = cache.stats()
+        assert stats["compiled"] == 1
+        assert stats["replay_hits"] == 3
+        assert stats["fallbacks"] == 0
+        assert stats["arena_bytes"] > 0
+        for t, p in zip(tape, results):
+            np.testing.assert_allclose(p.saliency, t.saliency, atol=1e-6)
+
+    def test_new_shape_compiles_new_plan(self, tiny_plan_setup):
+        cache, explainer, images, labels = tiny_plan_setup
+        cache.run(explainer, images, labels, None)
+        wide = np.concatenate([images, images])
+        cache.run(explainer, wide, np.concatenate([labels, labels]), None)
+        assert cache.stats()["compiled"] == 2
+        assert cache.stats()["plans"] == 2
+
+    def test_ineligible_method_falls_back(self, tiny_plan_setup):
+        cache, _, images, labels = tiny_plan_setup
+        batch = np.zeros((3, 1, 4, 4), dtype=np.float32)
+        results = cache.run(_TapeOnlyExplainer(), batch, labels, None)
+        assert len(results) == 3
+        stats = cache.stats()
+        assert stats["fallbacks"] == 1
+        assert stats["compiled"] == 0
+
+    def test_frozen_transition_falls_back_then_recovers(
+            self, tiny_plan_setup):
+        cache, explainer, images, labels = tiny_plan_setup
+        cache.run(explainer, images, labels, None)
+        with nn.frozen(explainer.layer):
+            # Fingerprint differs from compile time: tape fallback, the
+            # entry survives.
+            cache.run(explainer, images, labels, None)
+            assert cache.stats()["fallbacks"] == 1
+        # Frozen set reverted: the cached plan is valid again.
+        cache.run(explainer, images, labels, None)
+        stats = cache.stats()
+        assert stats["replay_hits"] == 2
+        assert stats["compiled"] == 1
+
+    def test_dtype_round_trip_invalidates(self, tiny_plan_setup):
+        cache, explainer, images, labels = tiny_plan_setup
+        cache.run(explainer, images, labels, None)
+        assert cache.stats()["plans"] == 1
+        try:
+            nn.set_default_dtype(np.float64)
+            assert cache.stats()["plans"] == 0
+            assert cache.stats()["invalidations"] == 1
+        finally:
+            nn.set_default_dtype(np.float32)
+        # Recompiles cleanly after the round trip.
+        cache.run(explainer, images, labels, None)
+        assert cache.stats()["compiled"] == 2
+        assert cache.stats()["plans"] == 1
+
+    def test_close_unregisters_listeners(self, tiny_plan_setup):
+        cache, explainer, images, labels = tiny_plan_setup
+        cache.run(explainer, images, labels, None)
+        cache.close()
+        try:
+            nn.set_default_dtype(np.float64)   # must not touch the cache
+        finally:
+            nn.set_default_dtype(np.float32)
+        assert cache.stats()["invalidations"] == 0
+
+    def test_lru_bound_evicts(self):
+        rng = np.random.default_rng(2)
+        explainer = _TinyPlanExplainer(nn.Linear(16, 4, rng=rng))
+        cache = PlanCache(max_plans=1)
+        try:
+            labels = np.array([0, 1], dtype=np.int64)
+            a = rng.standard_normal((2, 16)).astype(np.float32)
+            b = rng.standard_normal((4, 16)).astype(np.float32)
+            cache.run(explainer, a, labels, None)
+            cache.run(explainer, b, np.tile(labels, 2), None)
+            stats = cache.stats()
+            assert stats["plans"] == 1
+            assert stats["evictions"] == 1
+        finally:
+            cache.close()
+
+
+class TestEnginePlanIntegration:
+    def test_engine_stats_plans_section(self, tiny_classifier,
+                                        tiny_train_set):
+        from repro.explain import GradCAMExplainer
+        from repro.serve import ExplainEngine
+
+        images = tiny_train_set.images[:4]
+        labels = tiny_train_set.labels[:4]
+        engine = ExplainEngine(tiny_classifier,
+                               {"gradcam": GradCAMExplainer(tiny_classifier)},
+                               max_batch=2)
+        try:
+            engine.explain_batch(images[:2], labels[:2], "gradcam")
+            engine.explain_batch(images[2:], labels[2:], "gradcam")
+            plans = engine.stats()["plans"]
+            assert plans["compiled"] == 1
+            assert plans["replay_hits"] == 2
+            assert plans["arena_bytes"] > 0
+        finally:
+            engine.close()
+
+    def test_engine_plans_off(self, tiny_classifier, tiny_train_set):
+        from repro.explain import GradCAMExplainer
+        from repro.serve import ExplainEngine
+
+        engine = ExplainEngine(tiny_classifier,
+                               {"gradcam": GradCAMExplainer(tiny_classifier)},
+                               max_batch=2, plans=False)
+        try:
+            engine.explain_batch(tiny_train_set.images[:2],
+                                 tiny_train_set.labels[:2], "gradcam")
+            assert engine.stats()["plans"] is None
+        finally:
+            engine.close()

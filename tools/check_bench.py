@@ -14,14 +14,16 @@ What counts as a recorded timing
 --------------------------------
 Both entries are walked recursively and compared on the **intersection**
 of their paths — a key absent from the baseline (a metric this PR
-introduced) or absent from the current run (a smoke that only exercises
-a subset, e.g. ``bench_explainers --only`` or ``bench_serve --executor
-process``) is skipped, never failed.  Of the shared numeric leaves only
-two shapes gate, chosen because they are per-unit rates that stay
+introduced) is skipped silently, and a gated key absent from the
+current run (a smoke that only exercises a subset, e.g.
+``bench_explainers --only`` or ``bench_serve --executor process``) is
+skipped with a **stderr warning**, so lost bench coverage shows up in
+the job log instead of passing silently.  Of the shared numeric leaves
+only two shapes gate, chosen because they are per-unit rates that stay
 comparable when the smoke run shrinks the workload:
 
-* ``seconds`` / ``*ms_per_image`` — timings, **lower is better**: fail
-  when ``current > threshold * baseline``.
+* ``seconds`` / ``*ms_per_image`` / ``*ms_per_map`` — timings, **lower
+  is better**: fail when ``current > threshold * baseline``.
 * ``*_rps`` — throughput, **higher is better**: fail when
   ``current < baseline / threshold``.
 
@@ -55,7 +57,8 @@ from typing import Dict, Iterator, Tuple
 #: Leaf-key shapes that gate, and their direction.
 def _classify(key: str) -> str:
     """'time' (lower better), 'rate' (higher better), or '' (ignored)."""
-    if key == "seconds" or key.endswith("ms_per_image"):
+    if key == "seconds" or key.endswith("ms_per_image") \
+            or key.endswith("ms_per_map"):
         return "time"
     if key == "offered_rps":
         # Producer-side submission speed under policy="reject": most
@@ -80,11 +83,17 @@ def _numeric_leaves(node, path=()) -> Iterator[Tuple[Tuple[str, ...],
 
 
 def compare(baseline: Dict, current: Dict,
-            threshold: float) -> Tuple[list, list]:
-    """Returns ``(regressions, checked)`` comparing two label entries."""
+            threshold: float) -> Tuple[list, list, list]:
+    """Returns ``(regressions, checked, missing)`` comparing two label
+    entries; ``missing`` lists gated baseline keys the current run did
+    not record (lost bench coverage — warned, never failed, since smoke
+    runs legitimately exercise subsets)."""
     base_leaves = dict(_numeric_leaves(baseline))
+    cur_leaves = dict(_numeric_leaves(current))
+    missing = [".".join(path) for path in base_leaves
+               if _classify(path[-1]) and path not in cur_leaves]
     regressions, checked = [], []
-    for path, cur in _numeric_leaves(current):
+    for path, cur in cur_leaves.items():
         kind = _classify(path[-1])
         if not kind or path not in base_leaves:
             continue                      # skip keys absent from baseline
@@ -105,7 +114,7 @@ def compare(baseline: Dict, current: Dict,
             regressions.append(
                 f"  {dotted}: {cur:g} vs baseline {base:g} "
                 f"({ratio:.2f}x {direction}, threshold {threshold}x)")
-    return regressions, checked
+    return regressions, checked, missing
 
 
 def main() -> int:
@@ -141,15 +150,25 @@ def main() -> int:
               f"{args.current_label!r} entry", file=sys.stderr)
         return 2
 
-    regressions, checked = compare(baseline_doc[args.baseline_label],
-                                   current_doc[args.current_label],
-                                   args.threshold)
+    regressions, checked, missing = compare(
+        baseline_doc[args.baseline_label],
+        current_doc[args.current_label], args.threshold)
     print(f"check_bench: {args.current} [{args.current_label}] vs "
           f"{args.baseline} [{args.baseline_label}] — "
           f"{len(checked)} gated metrics, threshold {args.threshold}x")
     for dotted, base, cur, ratio, ok in checked:
         flag = "   " if ok else "FAIL"
         print(f"  {flag} {dotted}: {cur:g} vs {base:g} ({ratio:.2f}x)")
+    if missing:
+        # A gated baseline metric the current run never recorded: the
+        # smoke may legitimately cover a subset (--only, --executor),
+        # but it must be loud so lost coverage can't pass silently.
+        print(f"check_bench: WARNING — {len(missing)} gated baseline "
+              "metric(s) absent from the current run (not failed; "
+              "verify the smoke still covers what it should):",
+              file=sys.stderr)
+        for dotted in missing:
+            print(f"  missing {dotted}", file=sys.stderr)
     if regressions:
         print(f"check_bench: {len(regressions)} regression(s):",
               file=sys.stderr)
