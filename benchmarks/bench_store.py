@@ -1,0 +1,247 @@
+"""Persistent-store micro-benchmark: tiering, write-behind, recovery.
+
+Exercises the two-tier serving path (:class:`repro.serve.SaliencyStore`
+under the in-memory cache) and writes ``BENCH_store.json``:
+
+* **Tiering** — a skewed-cost trace (a few expensive maps, many cheap
+  ones) replayed three ways: *cold* (empty store, everything computed
+  and written behind), *tier-2 warm* (a fresh engine reopened on the
+  same directory — the in-memory cache is empty, every request is
+  served from disk), and *tier-1 warm* (the same engine replays the
+  trace again, now hitting memory).  The run asserts tier-2-warm
+  serving is at least **5x** the cold rate and that the restarted
+  engine recovers at least **90%** of the requested compute-weight
+  from the store (the persisted GDSF costs make that rate exact).
+* **Write-behind overhead** — the same all-miss insert trace through
+  an engine with no store, with a write-behind store, and with a
+  synchronous (``write_behind=False``) store.  Timing covers submit
+  through drain — the serving path the write-behind queue is supposed
+  to keep off the disk — and the run asserts the write-behind insert
+  penalty is at most **10%** versus store-off.
+
+Costs come from stub explainers with deterministic per-map sleeps (the
+dynamics under test are the store's, not the models'), so the run is
+seconds, not minutes::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --label current
+
+CI runs the same script with ``--label ci`` and gates the recorded
+``*_rps`` rates against the committed baseline via
+``tools/check_bench.py --strict-missing`` (all except
+``tier1_warm_rps``, which measures microsecond-scale memory hits and
+is recorded for context only — see the exclusion in check_bench).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.explain.base import Explainer, SaliencyResult
+from repro.serve import ExplainEngine
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_store.json")
+
+
+class SleepStub(Explainer):
+    """Deterministic-cost explainer: ``sleep_ms`` per map, counted."""
+
+    needs_gradients = False
+
+    def __init__(self, name: str, sleep_ms: float):
+        self.name = name
+        self.sleep_ms = sleep_ms
+        self.computed = 0
+
+    def explain_batch(self, images, labels, target_labels=None):
+        if self.sleep_ms:
+            time.sleep(self.sleep_ms * len(images) / 1000.0)
+        self.computed += len(images)
+        return [SaliencyResult(np.random.default_rng(int(y)).random(
+            images.shape[2:]).astype(np.float32), int(y))
+                for y in labels]
+
+
+def _img(i: int) -> np.ndarray:
+    return np.full((1, 8, 8), float(i), dtype=np.float32)
+
+
+def _engine(store, pricey_ms: float, cheap_ms: float) -> ExplainEngine:
+    return ExplainEngine(None,
+                         {"pricey": SleepStub("pricey", pricey_ms),
+                          "cheap": SleepStub("cheap", cheap_ms)},
+                         max_batch=4, cache_size=512, store=store)
+
+
+def _replay(engine: ExplainEngine, hot: int, flood: int) -> float:
+    """Submit the skewed trace (``hot`` pricey + ``flood`` cheap unique
+    maps), drain, return elapsed seconds."""
+    start = time.perf_counter()
+    for i in range(hot):
+        engine.submit_async(_img(i), 0, "pricey")
+    for i in range(flood):
+        engine.submit_async(_img(1_000 + i), 0, "cheap")
+    engine.drain()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+def tiering_run(directory: str, hot: int, flood: int, pricey_ms: float,
+                cheap_ms: float) -> dict:
+    """Cold / tier-2-warm / tier-1-warm replays of one skewed trace."""
+    total = hot + flood
+
+    cold = _engine(directory, pricey_ms, cheap_ms)
+    with cold:
+        cold_s = _replay(cold, hot, flood)
+        cold_stats = cold.stats()
+    if cold_stats["store"]["write_drops"]:
+        raise SystemExit("cold run dropped write-behind records; shrink "
+                         "the trace or deepen the queue")
+
+    # Fresh engine, same directory: tier 1 empty, tier 2 on disk.
+    warm = _engine(directory, pricey_ms, cheap_ms)
+    with warm:
+        tier2_s = _replay(warm, hot, flood)
+        recovery = warm.stats()
+        tier1_s = _replay(warm, hot, flood)
+        final = warm.stats()
+
+    row = {
+        "requests": total,
+        "hot_pricey": hot,
+        "flood_cheap": flood,
+        "pricey_ms": pricey_ms,
+        "cheap_ms": cheap_ms,
+        "cold_rps": round(total / cold_s, 1),
+        "tier2_warm_rps": round(total / tier2_s, 1),
+        "tier1_warm_rps": round(total / tier1_s, 1),
+        "tier2_speedup": round(cold_s / tier2_s, 2),
+        "recovery_store_served": recovery["store_served"],
+        "recovery_weighted_hit_rate": round(
+            recovery["weighted_hit_rate"], 4),
+        "store_entries": final["store"]["entries"],
+        "store_bytes": final["store"]["bytes"],
+        "store_segments": final["store"]["segments"],
+    }
+    if row["tier2_speedup"] < 5.0:
+        raise SystemExit(
+            f"tier-2-warm serving only {row['tier2_speedup']}x cold "
+            "(need >= 5x): store reads are not beating recompute")
+    if row["recovery_weighted_hit_rate"] < 0.9:
+        raise SystemExit(
+            f"restart recovered only "
+            f"{row['recovery_weighted_hit_rate']:.1%} of requested "
+            "compute-weight (need >= 90%)")
+    return row
+
+
+# ----------------------------------------------------------------------
+def write_behind_run(base_dir: str, requests: int,
+                     sleep_ms: float) -> dict:
+    """All-miss insert trace: store-off vs write-behind vs synchronous.
+
+    Every map is unique, so the store only ever absorbs inserts — the
+    measured spread is pure insert-path overhead.
+    """
+    def run(store) -> float:
+        engine = ExplainEngine(None, {"stub": SleepStub("stub", sleep_ms)},
+                               max_batch=4, cache_size=2 * requests,
+                               store=store)
+        with engine:
+            start = time.perf_counter()
+            for i in range(requests):
+                engine.submit_async(_img(i), 0, "stub")
+            engine.drain()
+            return time.perf_counter() - start
+
+    from repro.serve import SaliencyStore
+
+    off_s = run(None)
+    wb_s = run(os.path.join(base_dir, "wb"))
+    sync_s = run(SaliencyStore(os.path.join(base_dir, "sync"),
+                               write_behind=False))
+    row = {
+        "requests": requests,
+        "sleep_ms": sleep_ms,
+        "store_off_rps": round(requests / off_s, 1),
+        "write_behind_rps": round(requests / wb_s, 1),
+        "sync_store_rps": round(requests / sync_s, 1),
+        "write_behind_overhead_pct": round(100.0 * (wb_s / off_s - 1.0),
+                                           1),
+    }
+    if wb_s > 1.10 * off_s:
+        raise SystemExit(
+            f"write-behind insert overhead "
+            f"{row['write_behind_overhead_pct']}% exceeds the 10% "
+            "budget: the hot path is blocking on disk")
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="entry name in the JSON (seed | current | ci)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--hot", type=int, default=12,
+                        help="expensive hot-set size in the skewed trace")
+    parser.add_argument("--flood", type=int, default=48,
+                        help="cheap unique maps in the skewed trace")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="write-behind-section insert count")
+    args = parser.parse_args()
+
+    scratch = tempfile.mkdtemp(prefix="bench_store_")
+    try:
+        tiering = tiering_run(os.path.join(scratch, "tier"),
+                              hot=args.hot, flood=args.flood,
+                              pricey_ms=6.0, cheap_ms=0.5)
+        print(f"tiering ({tiering['requests']} reqs, skewed costs):")
+        print(f"  cold        : {tiering['cold_rps']:8.1f} req/s")
+        print(f"  tier-2 warm : {tiering['tier2_warm_rps']:8.1f} req/s "
+              f"({tiering['tier2_speedup']}x cold, recovered "
+              f"{tiering['recovery_weighted_hit_rate']:.1%} of "
+              "requested compute-weight)")
+        print(f"  tier-1 warm : {tiering['tier1_warm_rps']:8.1f} req/s")
+
+        write_behind = write_behind_run(scratch, args.requests,
+                                        sleep_ms=2.0)
+        print(f"write-behind inserts ({write_behind['requests']} unique "
+              "reqs):")
+        print(f"  store off   : {write_behind['store_off_rps']:8.1f} "
+              "req/s")
+        print(f"  write-behind: {write_behind['write_behind_rps']:8.1f} "
+              f"req/s ({write_behind['write_behind_overhead_pct']:+.1f}% "
+              "vs off)")
+        print(f"  synchronous : {write_behind['sync_store_rps']:8.1f} "
+              "req/s")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    doc[args.label] = {
+        "tiering": tiering,
+        "write_behind": write_behind,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

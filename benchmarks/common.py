@@ -59,10 +59,12 @@ def get_context(dataset: str) -> ExperimentContext:
 
 def engine_kwargs() -> Dict[str, object]:
     """Executor selection for the engine-backed sweeps, from the
-    ``REPRO_SERVE_EXECUTOR`` (serial | threaded | process) and
-    ``REPRO_SERVE_WORKERS`` environment variables — pass as
+    ``REPRO_SERVE_EXECUTOR`` (serial | threaded | process),
+    ``REPRO_SERVE_WORKERS``, and ``REPRO_SERVE_STORE`` (persistent
+    saliency-store directory: set it to serve repeat sweeps warm across
+    bench invocations) environment variables — pass as
     ``ctx.engine(..., **engine_kwargs())``.  Defaults to the serial
-    executor (deterministic, zero overhead)."""
+    executor (deterministic, zero overhead) and no store."""
     kwargs: Dict[str, object] = {}
     executor = os.environ.get("REPRO_SERVE_EXECUTOR")
     if executor:
@@ -70,6 +72,9 @@ def engine_kwargs() -> Dict[str, object]:
     workers = os.environ.get("REPRO_SERVE_WORKERS")
     if workers:
         kwargs["workers"] = int(workers)
+    store = os.environ.get("REPRO_SERVE_STORE")
+    if store:
+        kwargs["store"] = store
     return kwargs
 
 

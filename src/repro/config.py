@@ -104,3 +104,13 @@ TASKS: Dict[str, str] = {
 DATASET_NAMES = tuple(TABLE1_COUNTS)
 
 DEFAULT_CONFIG = ReproConfig()
+
+#: Persistent saliency store (serve/store.py) sizing defaults.  Segment
+#: files roll at ``STORE_SEGMENT_BYTES``; whole-segment compaction kicks
+#: in past ``STORE_CAPACITY_BYTES``.  Small by paper-repro standards —
+#: 32x32 float16 maps are ~2 KB framed, so the defaults hold ~8k entries
+#: across ~16 segments.  Override via environment for larger corpora.
+STORE_SEGMENT_BYTES: int = _env_int("REPRO_STORE_SEGMENT_BYTES",
+                                    1 * 1024 * 1024)
+STORE_CAPACITY_BYTES: int = _env_int("REPRO_STORE_CAPACITY_BYTES",
+                                     16 * 1024 * 1024)

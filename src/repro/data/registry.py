@@ -8,6 +8,7 @@ counts follow Table I divided by :data:`repro.config.TABLE1_DIVISOR`
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -73,9 +74,13 @@ def make_dataset(name: str, split: str = "train", image_size: int = 32,
     generator, class_names = _GENERATORS[name]
     if counts is None:
         counts = table1_counts(name, split, divisor, min_per_class)
-    # Distinct stream per (dataset, split, seed).
+    # Distinct stream per (dataset, split, seed).  crc32, not hash():
+    # python salts string hashing per process (PYTHONHASHSEED), which
+    # would regenerate *different* data every run — silently breaking
+    # disk-cached models, content-addressed persistence, and any test
+    # threshold sitting near a stream-dependent value.
     stream = np.random.default_rng(
-        abs(hash((name, split, seed))) % (2 ** 32))
+        zlib.crc32(f"{name}/{split}/{seed}".encode()))
     images, labels, masks = generator(counts, image_size, stream)
     order = stream.permutation(len(images))
     return ImageDataset(images[order], labels[order], masks[order],

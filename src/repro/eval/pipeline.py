@@ -215,7 +215,8 @@ class ExperimentContext:
                cache_size: int = 256, cache_shards: int = 4,
                eviction: str = "lru",
                max_pending: Optional[int] = None, policy: str = "block",
-               executor=None, workers: Optional[int] = None):
+               executor=None, workers: Optional[int] = None,
+               store=None):
         """The serving-layer :class:`~repro.serve.ExplainEngine` over this
         context's classifier + suite, so repeated sweeps hit the saliency
         cache and share micro-batched model calls.  The engine is cached
@@ -236,11 +237,16 @@ class ExperimentContext:
         ``min_batch``/``target_batch_ms`` turn on adaptive per-queue
         micro-batching, ``eviction`` picks "lru" or cost-aware "cost",
         and ``max_pending``/``policy`` bound async ingestion (block or
-        reject on overload).
+        reject on overload).  ``store`` names a directory for the
+        persistent saliency tier (warm restarts: a rebuilt engine on
+        the same directory serves yesterday's maps from disk); the
+        engine owns it for its lifetime — single-writer rule — so two
+        live engines must not share one directory.
         """
         config = (include, max_batch, max_delay_ms, cache_size,
                   cache_shards, executor, min_batch, target_batch_ms,
-                  eviction, max_pending, policy, workers)
+                  eviction, max_pending, policy, workers,
+                  None if store is None else os.fspath(store))
         if self._engine is None or self._engine[0] != config:
             from ..serve import ExplainEngine, make_executor
             if self._engine is not None:
@@ -275,7 +281,7 @@ class ExperimentContext:
                 min_batch=min_batch, target_batch_ms=target_batch_ms,
                 cache_size=cache_size, cache_shards=cache_shards,
                 eviction=eviction, max_pending=max_pending, policy=policy,
-                executor=engine_executor))
+                executor=engine_executor, store=store))
         return self._engine[1]
 
     # ------------------------------------------------------------------

@@ -42,13 +42,24 @@ The package splits the serving layer into four pieces:
   compile per-replica** — each worker owns a private ``PlanCache``
   because buffer arenas cannot cross process boundaries, and reports
   its counters through the executor's ``stats`` channel.
+* :mod:`~repro.serve.store` — :class:`SaliencyStore`: the persistent
+  second cache tier.  Content-addressed on the same cache key,
+  float16-quantized records in append-only segment files, a journaled
+  index rebuilt by CRC-checked segment scan on corruption, write-behind
+  inserts (the hot path never blocks on disk), mmap reads, per-entry
+  GDSF cost persisted so cost-aware eviction survives restarts, and
+  whole-segment compaction for capacity.  One read-write opener per
+  directory (the engine); process workers attach read-only from an
+  index snapshot and serve store hits without compute.
 * :mod:`~repro.serve.engine` — the :class:`ExplainEngine` façade tying
   them together behind ``submit`` / ``submit_async`` / ``flush`` /
   ``drain`` / ``explain`` / ``explain_batch``.  Async ingestion is
   admission-controlled: ``max_pending`` bounds unique unresolved
   requests, and an over-limit ``submit_async`` blocks for room
   (``policy="block"``) or raises :class:`EngineOverloaded`
-  (``policy="reject"``).
+  (``policy="reject"``).  ``store=`` adds the persistent tier: misses
+  probe it before queueing compute, results write behind to it, and an
+  engine reopened on the same directory starts warm.
 
 Quickstart
 ----------
@@ -83,6 +94,7 @@ from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
                        make_executor)
 from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
+from .store import SaliencyStore, StoreClosed
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
                      demo_spec)
 
@@ -93,6 +105,6 @@ __all__ = [
     "image_digest", "request_key",
     "MicroBatchScheduler", "ExplainRequest", "QueueKey",
     "SerialExecutor", "ThreadedExecutor", "ProcessExecutor",
-    "make_executor", "PlanCache",
+    "make_executor", "PlanCache", "SaliencyStore", "StoreClosed",
     "EngineSpec", "WorkerBatchError", "WorkerCrashed", "demo_spec",
 ]

@@ -70,6 +70,21 @@ def request_key(image: np.ndarray, method: str, label: int,
 EVICTION_POLICIES = ("lru", "cost")
 
 
+def _derive_rates(stats: Dict[str, object]) -> Dict[str, object]:
+    """Attach the derived ``hit_rate`` / ``weighted_hit_rate`` fields
+    to a counter dict (benches and the store bench consume these
+    instead of recomputing them ad hoc).  ``hit_rate`` is plain
+    hits / lookups; ``weighted_hit_rate`` weights each request by its
+    recorded compute cost — the fraction of requested compute served
+    from cache.  Both are ``None`` until there is traffic to rate."""
+    lookups = stats["hits"] + stats["misses"]
+    stats["hit_rate"] = (stats["hits"] / lookups) if lookups else None
+    requested = stats["hit_cost_ms"] + stats["insert_cost_ms"]
+    stats["weighted_hit_rate"] = (
+        stats["hit_cost_ms"] / requested if requested > 0 else None)
+    return stats
+
+
 def _freeze_result(result: SaliencyResult) -> None:
     """Make every ndarray reachable from a cached result read-only.
 
@@ -110,8 +125,9 @@ class SaliencyCache:
         self.policy = policy
         self._store: "OrderedDict[CacheKey, SaliencyResult]" = OrderedDict()
         self._lock = threading.Lock()
-        # Cost-policy state: per-key compute cost and GDSF priority,
-        # plus the aging clock that ratchets to each evicted priority.
+        # Per-key compute cost is tracked under *both* policies (it
+        # feeds the weighted hit rate); the GDSF priority map and aging
+        # clock are cost-policy-only state.
         self._cost: Dict[CacheKey, float] = {}
         self._priority: Dict[CacheKey, float] = {}
         self._clock = 0.0
@@ -119,6 +135,11 @@ class SaliencyCache:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        # Weighted hit-rate accounting: compute cost *avoided* by hits
+        # vs compute cost actually *paid* (computed inserts only —
+        # tier-2 store fills pass computed=False and bill nothing).
+        self.hit_cost_ms = 0.0
+        self.insert_cost_ms = 0.0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -144,10 +165,10 @@ class SaliencyCache:
             victim = min(self._priority, key=self._priority.__getitem__)
             evicted_priority = self._priority.pop(victim)
             self._clock = max(self._clock, evicted_priority)
-            self._cost.pop(victim, None)
             del self._store[victim]
         else:
-            self._store.popitem(last=False)
+            victim, _ = self._store.popitem(last=False)
+        self._cost.pop(victim, None)
         self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -162,6 +183,7 @@ class SaliencyCache:
                 # Refresh at the current clock: recency plus cost bonus.
                 self._reprioritize(key, result)
             self.hits += 1
+            self.hit_cost_ms += self._cost.get(key, 0.0)
             return result
 
     def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
@@ -171,11 +193,15 @@ class SaliencyCache:
             return self._store.get(key)
 
     def put(self, key: CacheKey, result: SaliencyResult,
-            cost_ms: Optional[float] = None) -> None:
+            cost_ms: Optional[float] = None,
+            computed: bool = True) -> None:
         """Insert a result, optionally recording its measured compute
         cost (per-map milliseconds; the engine passes batch ms / batch
-        size).  The cost feeds the ``"cost"`` eviction policy and is
-        ignored — but still accepted — under ``"lru"``."""
+        size).  The cost feeds the ``"cost"`` eviction policy and the
+        weighted hit rate under either policy.  ``computed=False``
+        marks inserts whose compute was *not* paid by this process —
+        tier-2 store fills — so the weighted hit rate bills only real
+        explainer work."""
         _freeze_result(result)
         with self._lock:
             if key in self._store:
@@ -183,17 +209,23 @@ class SaliencyCache:
             else:
                 self.inserts += 1
             self._store[key] = result
+            if cost_ms is not None:
+                self._cost[key] = float(cost_ms)
+                if computed:
+                    self.insert_cost_ms += float(cost_ms)
             if self.policy == "cost":
-                if cost_ms is not None:
-                    self._cost[key] = float(cost_ms)
                 self._reprioritize(key, result)
             while len(self._store) > self.capacity:
                 self._evict_one()
 
-    def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return _derive_rates({
+                "hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "inserts": self.inserts,
-                "size": len(self._store), "capacity": self.capacity}
+                "hit_cost_ms": self.hit_cost_ms,
+                "insert_cost_ms": self.insert_cost_ms,
+                "size": len(self._store), "capacity": self.capacity})
 
 
 class ShardedSaliencyCache:
@@ -246,8 +278,10 @@ class ShardedSaliencyCache:
         return self._shard(key).peek(key)
 
     def put(self, key: CacheKey, result: SaliencyResult,
-            cost_ms: Optional[float] = None) -> None:
-        self._shard(key).put(key, result, cost_ms=cost_ms)
+            cost_ms: Optional[float] = None,
+            computed: bool = True) -> None:
+        self._shard(key).put(key, result, cost_ms=cost_ms,
+                             computed=computed)
 
     # -- aggregated counters -------------------------------------------
     @property
@@ -266,16 +300,27 @@ class ShardedSaliencyCache:
     def inserts(self) -> int:
         return sum(s.inserts for s in self.shards)
 
+    @property
+    def hit_cost_ms(self) -> float:
+        return sum(s.hit_cost_ms for s in self.shards)
+
+    @property
+    def insert_cost_ms(self) -> float:
+        return sum(s.insert_cost_ms for s in self.shards)
+
     def shard_sizes(self) -> List[int]:
         return [len(s) for s in self.shards]
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate counters plus the per-shard breakdown."""
-        return {
+        """Aggregate counters (with the derived hit rates) plus the
+        per-shard breakdown."""
+        return _derive_rates({
             "hits": self.hits, "misses": self.misses,
             "evictions": self.evictions, "inserts": self.inserts,
+            "hit_cost_ms": self.hit_cost_ms,
+            "insert_cost_ms": self.insert_cost_ms,
             "size": len(self), "capacity": self.capacity,
             "policy": self.policy,
             "shards": len(self.shards),
             "shard_sizes": self.shard_sizes(),
-        }
+        })

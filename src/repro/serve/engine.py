@@ -35,6 +35,7 @@ batch executor — behind the serving API the rest of the repo consumes:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future
@@ -49,12 +50,35 @@ from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
 from .executor import make_executor
 from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
+from .store import SaliencyStore
 from .worker import WorkerCrashed
 
 __all__ = ["EngineOverloaded", "ExplainEngine", "PendingExplain",
            "SaliencyCache", "image_digest", "request_key"]
 
 ADMISSION_POLICIES = ("block", "reject")
+
+
+def _merge_plan_stats(parent: Optional[Dict], worker_stats: List[dict]
+                      ) -> Optional[Dict]:
+    """Fold per-worker ``plans`` dicts into the engine-level section:
+    counters sum across replicas (each compiles/replays its own plans);
+    ``arena_bytes`` takes the max — arenas are peak per-process memory,
+    not additive."""
+    merged = dict(parent) if parent is not None else None
+    for worker in worker_stats:
+        plans = worker.get("plans")
+        if not plans:
+            continue
+        if merged is None:
+            merged = dict(plans)
+            continue
+        for key, value in plans.items():
+            if key == "arena_bytes":
+                merged[key] = max(merged.get(key, 0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 class EngineOverloaded(RuntimeError):
@@ -190,6 +214,17 @@ class ExplainEngine:
         counted in ``stats()["plans"]``.  Process workers keep their own
         per-replica caches — this flag does not affect them.  ``False``
         restores the always-tape behaviour.
+    store:
+        Persistent second cache tier (default off): a directory path —
+        the engine opens a :class:`~repro.serve.store.SaliencyStore`
+        there (read-write, single writer) and closes it with the
+        engine — or an already-open store instance.  Tier-1 misses
+        probe the store before queueing compute (mmap read, arrays
+        re-frozen, the persisted GDSF cost threaded into the tier-1
+        insert); computed results write behind to it.  A process pool
+        additionally gets the directory plus an index snapshot so its
+        workers serve store hits read-only.  Reopening the same
+        directory later starts the engine *warm* — the whole point.
     """
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
@@ -199,7 +234,7 @@ class ExplainEngine:
                  cache_size: int = 256, cache_shards: int = 1,
                  eviction: str = "lru",
                  max_pending: Optional[int] = None, policy: str = "block",
-                 executor=None, plans: bool = True):
+                 executor=None, plans: bool = True, store=None):
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
         if policy not in ADMISSION_POLICIES:
@@ -235,6 +270,24 @@ class ExplainEngine:
         # running *different* methods (or shape-queues) in parallel.
         self._method_locks = {name: threading.Lock() for name in explainers}
         self._plan_cache = PlanCache() if plans else None
+        # Tier 2: the persistent store.  A path opens one read-write
+        # (this engine is the single writer for the directory); an
+        # instance is adopted as-is.  Either way close() closes it —
+        # mirroring how the engine owns executor shutdown.
+        if store is None or isinstance(store, SaliencyStore):
+            self._store = store
+        else:
+            self._store = SaliencyStore(os.fspath(store))
+        self.store_served = 0
+        if self._store is not None:
+            attach = getattr(self._executor, "attach_store", None)
+            if attach is not None:
+                # Process workers open the same directory read-only
+                # from the writer's index snapshot (never scanning a
+                # segment themselves) and serve store hits without
+                # compute.
+                attach(self._store.directory,
+                       self._store.index_snapshot())
         self.batches_run = 0
         self.requests_served = 0
 
@@ -256,8 +309,50 @@ class ExplainEngine:
         return self._executor
 
     def stats(self) -> Dict[str, object]:
-        """Serving counters (cache, batching, dedup) for dashboards."""
+        """Serving counters (cache, store, batching, dedup) for
+        dashboards.
+
+        ``plans`` aggregates across replicas when process workers are
+        in play: per-worker counters are summed (each replica compiles
+        and replays its own plans) with ``arena_bytes`` as the max —
+        arenas are peak per-process memory, not additive.  Gathering
+        worker stats waits for the pool to go idle, so under continuous
+        async load call ``stats()`` after a ``drain()``.
+        """
         cache = self.cache.stats()
+        # Worker stats ride the channel pipes and wait for idle workers
+        # — gather them only when the pool is idle right now (a stats
+        # probe mid-flight must observe, not drain) and before taking
+        # the engine lock so a slow pool never stalls submits racing
+        # through the locked section below.
+        worker_stats = None
+        gather = getattr(self._executor, "worker_stats", None)
+        pool_idle = getattr(self._executor, "pool_idle", None)
+        if (gather is not None and not self._closed
+                and (pool_idle is None or pool_idle())):
+            try:
+                worker_stats = gather()
+            except Exception:              # noqa: BLE001 — stats are best-effort
+                worker_stats = None
+        plans = (self._plan_cache.stats()
+                 if self._plan_cache is not None else None)
+        store = self._store.stats() if self._store is not None else None
+        if worker_stats:
+            plans = _merge_plan_stats(plans, worker_stats)
+            if store is not None:
+                store["worker_hits"] = sum(
+                    w.get("store", {}).get("hits", 0)
+                    for w in worker_stats)
+                store["worker_misses"] = sum(
+                    w.get("store", {}).get("misses", 0)
+                    for w in worker_stats)
+        # Combined weighted hit rate across both tiers: compute avoided
+        # by tier-1 hits plus tier-2 (store) hits, over that plus the
+        # compute actually paid (computed inserts).
+        avoided = cache["hit_cost_ms"]
+        if store is not None:
+            avoided += store["hit_cost_ms"]
+        requested = avoided + cache["insert_cost_ms"]
         with self._lock:
             inflight = sum(1 for f in self._inflight if not f.done())
             return {
@@ -268,6 +363,11 @@ class ExplainEngine:
                 "cache_size": cache["size"],
                 "cache_shards": cache["shards"],
                 "shard_sizes": cache["shard_sizes"],
+                "hit_rate": cache["hit_rate"],
+                "weighted_hit_rate": (avoided / requested
+                                      if requested > 0 else None),
+                "store": store,
+                "store_served": self.store_served,
                 "batches_run": self.batches_run,
                 "requests_served": self.requests_served,
                 "pending": self._scheduler.pending_count(),
@@ -283,8 +383,7 @@ class ExplainEngine:
                 "batch_limits": self._scheduler.batch_limits(),
                 "eviction": self.cache.policy,
                 "executor": self._executor.name,
-                "plans": (self._plan_cache.stats()
-                          if self._plan_cache is not None else None),
+                "plans": plans,
             }
 
     def pending_count(self, method: Optional[str] = None) -> int:
@@ -322,6 +421,11 @@ class ExplainEngine:
             self._executor.shutdown()
             if self._plan_cache is not None:
                 self._plan_cache.close()
+            if self._store is not None:
+                # Drains the write-behind queue and snapshots the
+                # journal, so the next engine on this directory opens
+                # warm with a pure replay.
+                self._store.close()
         if error is not None:
             raise error
 
@@ -372,8 +476,11 @@ class ExplainEngine:
             # with no survivors can never drain what is queued — that
             # is the admission contract's "cannot make progress" case,
             # surfaced in its own type with the crash as the cause.
+            keys = ([list(r.key) for r in requests]
+                    if self._store is not None else None)
             try:
-                results, batch_ms = remote(method, images, labels, targets)
+                results, batch_ms = remote(method, images, labels, targets,
+                                           keys=keys)
             except WorkerCrashed as exc:
                 if getattr(self._executor, "alive_workers", 1) == 0:
                     raise EngineOverloaded(
@@ -407,14 +514,32 @@ class ExplainEngine:
                 batch_ms = (time.perf_counter() - start) * 1000.0
         # Measured per-map cost feeds the cost-aware eviction policy
         # (cache insert below) and the queue's adaptive batch limit.
-        cost_ms = batch_ms / len(requests)
+        # Worker-side store hits did no compute here: the batch's wall
+        # time is spread over the computed maps only, and the hits keep
+        # the cost persisted with their record.
+        computed = [not (isinstance(r.meta, dict)
+                         and r.meta.get("store_hit")) for r in results]
+        n_computed = sum(computed)
+        cost_ms = batch_ms / max(n_computed, 1)
         served = 0
         with self._lock:
             self.batches_run += 1
-            self._scheduler.observe(queue_key, batch_ms, len(requests))
-            for request, result in zip(requests, results):
+            self._scheduler.observe(queue_key, batch_ms,
+                                    max(n_computed, 1))
+            for request, result, was_computed in zip(requests, results,
+                                                     computed):
                 result.image_digest = request.key[0]
-                self.cache.put(request.key, result, cost_ms=cost_ms)
+                if was_computed:
+                    self.cache.put(request.key, result, cost_ms=cost_ms)
+                    if self._store is not None:
+                        # Write-behind: enqueue only; the store's
+                        # flusher thread owns the disk I/O.
+                        self._store.put(request.key, result,
+                                        cost_ms=cost_ms)
+                else:
+                    stored_cost = result.meta.get("store_cost_ms")
+                    self.cache.put(request.key, result,
+                                   cost_ms=stored_cost, computed=False)
                 for handle in request.handles:
                     handle._result = result
                 served += len(request.handles)
@@ -717,6 +842,21 @@ class ExplainEngine:
                 self.requests_served += 1
             return PendingExplain(self, method, cache_hit=True,
                                   _result=cached)
+        if self._store is not None:
+            # Tier 2: a store hit promotes into the memory tier with
+            # its *persisted* compute cost (computed=False — nothing
+            # was paid now), so GDSF keeps protecting expensive maps
+            # across the restart that made this probe necessary.
+            stored = self._store.get(key)
+            if stored is not None:
+                result, stored_cost = stored
+                self.cache.put(key, result, cost_ms=stored_cost,
+                               computed=False)
+                with self._lock:
+                    self.requests_served += 1
+                    self.store_served += 1
+                return PendingExplain(self, method, cache_hit=True,
+                                      _result=result)
 
         # The scheduler copies the image only when it creates a new
         # request, so cache hits and deduped submits stay

@@ -216,6 +216,14 @@ class ProcessExecutor:
         with self._lock:
             return self._live
 
+    def pool_idle(self) -> bool:
+        """True when no worker is mid-batch right now.  The engine's
+        ``stats()`` aggregates worker counters only from an idle pool —
+        gathering them waits for idleness, which would silently turn a
+        mid-flight stats probe into a drain."""
+        with self._lock:
+            return len(self._idle) == self._live
+
     def _acquire(self) -> _WorkerChannel:
         with self._cond:
             while True:
@@ -250,19 +258,22 @@ class ProcessExecutor:
 
     # -- the remote-compute channel the engine duck-types for ----------
     def run_batch(self, method: str, images: np.ndarray,
-                  labels: np.ndarray, targets: Optional[np.ndarray]
-                  ) -> Tuple[list, float]:
+                  labels: np.ndarray, targets: Optional[np.ndarray],
+                  keys: Optional[list] = None) -> Tuple[list, float]:
         """Run one micro-batch on a free worker; returns ``(results,
         batch_ms)`` with ``batch_ms`` measured inside the worker (pure
-        compute — pipe and queueing time never bill as cost).  A batch
-        that raised remotely raises :class:`WorkerBatchError` carrying
-        the remote traceback; a worker that died mid-batch raises
-        :class:`WorkerCrashed` and retires its channel."""
+        compute — pipe and queueing time never bill as cost).  ``keys``
+        (per-request cache keys) ride along when the pool has a
+        saliency store attached, letting the worker serve store hits
+        without compute.  A batch that raised remotely raises
+        :class:`WorkerBatchError` carrying the remote traceback; a
+        worker that died mid-batch raises :class:`WorkerCrashed` and
+        retires its channel."""
         channel = self._acquire()
         try:
             try:
                 channel.conn.send(encode_batch(method, images, labels,
-                                               targets))
+                                               targets, keys=keys))
                 reply = channel.conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 channel.dead = True
@@ -277,6 +288,37 @@ class ProcessExecutor:
             raise WorkerBatchError(err_method, exc_type, message, remote_tb)
         _, payload, batch_ms = reply
         return decode_results(payload), float(batch_ms)
+
+    def attach_store(self, directory: str, snapshot: list) -> int:
+        """Attach a read-only saliency store to every live worker: each
+        gets the store *directory* plus the parent's current index
+        *snapshot* (see :meth:`repro.serve.store.SaliencyStore.
+        index_snapshot`), so workers open without scanning a segment or
+        touching the journal — the single-writer parent remains the
+        only process that mutates the directory.  Returns the number of
+        workers that attached; waits for the pool to go idle first
+        (call it before load, or after a drain)."""
+        with self._cond:
+            while len(self._idle) < self._live:
+                if self._live == 0 or self._closed:
+                    break
+                self._cond.wait(timeout=0.1)
+            channels, self._idle = list(self._idle), []
+        attached = 0
+        try:
+            for channel in channels:
+                try:
+                    channel.conn.send(("store", directory, snapshot))
+                    reply = channel.conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    channel.dead = True
+                    continue
+                if reply[0] == "store_ok":
+                    attached += 1
+        finally:
+            for channel in channels:
+                self._release(channel)
+        return attached
 
     def worker_stats(self) -> List[dict]:
         """Per-worker ``{pid, batches, maps}`` counters (the dedup

@@ -115,21 +115,29 @@ class EngineSpec:
 # ----------------------------------------------------------------------
 # Payload codec: what actually crosses the pipe, in both directions.
 def encode_batch(method: str, images: np.ndarray, labels: np.ndarray,
-                 targets: Optional[np.ndarray]) -> Tuple:
+                 targets: Optional[np.ndarray],
+                 keys: Optional[List[Tuple]] = None) -> Tuple:
     """Pack one micro-batch for the wire: contiguous float32 image
     stack, int64 labels, and the optional target array (``None`` when
-    no request in the batch set a counter class)."""
+    no request in the batch set a counter class).  ``keys`` carries the
+    per-request cache keys when the worker holds a read-only saliency
+    store to probe (parent-tier misses may still be store hits a worker
+    can serve without compute)."""
     images = np.ascontiguousarray(images, dtype=np.float32)
     labels = np.asarray(labels, dtype=np.int64)
     if targets is not None:
         targets = np.asarray(targets, dtype=np.int64)
-    return ("batch", method, images, labels, targets)
+    return ("batch", method, images, labels, targets, keys)
 
 
 def decode_batch(message: Tuple) -> Tuple[str, np.ndarray, np.ndarray,
-                                          Optional[np.ndarray]]:
-    _, method, images, labels, targets = message
-    return method, images, labels, targets
+                                          Optional[np.ndarray],
+                                          Optional[List[Tuple]]]:
+    if len(message) == 5:                  # keyless legacy framing
+        _, method, images, labels, targets = message
+        return method, images, labels, targets, None
+    _, method, images, labels, targets, keys = message
+    return method, images, labels, targets, keys
 
 
 def encode_results(results: List) -> Tuple:
@@ -168,6 +176,15 @@ def worker_main(conn, spec: EngineSpec) -> None:
     boundaries), so after each worker's first batch of a
     (method, shape) key its hot path replays tape-free.  The ``stats``
     reply carries the replica's plan counters.
+
+    A ``("store", directory, snapshot)`` message attaches a
+    **read-only** :class:`~repro.serve.store.SaliencyStore` built from
+    the parent's index snapshot (the single-writer rule: only the
+    parent process ever writes the directory).  Batches whose payload
+    carries per-request cache keys then probe the store first and
+    compute only the misses; store-served results come back flagged
+    ``meta["store_hit"]`` with their persisted cost, and ``batch_ms``
+    covers the computed subset only.
     """
     from .plans import PlanCache
 
@@ -181,7 +198,8 @@ def worker_main(conn, spec: EngineSpec) -> None:
         return
     conn.send(("ready", os.getpid()))
     plan_cache = PlanCache()
-    batches = maps = 0
+    store = None
+    batches = maps = store_hits = store_misses = 0
     try:
         while True:
             try:
@@ -194,27 +212,71 @@ def worker_main(conn, spec: EngineSpec) -> None:
             if kind == "stats":
                 conn.send(("stats", {"pid": os.getpid(),
                                      "batches": batches, "maps": maps,
-                                     "plans": plan_cache.stats()}))
+                                     "plans": plan_cache.stats(),
+                                     "store": {"hits": store_hits,
+                                               "misses": store_misses}}))
                 continue
-            method, images, labels, targets = decode_batch(message)
+            if kind == "store":
+                from .store import SaliencyStore
+                _, directory, snapshot = message
+                try:
+                    if store is not None:
+                        store.close()
+                    store = SaliencyStore.open_readonly(directory,
+                                                        snapshot=snapshot)
+                    conn.send(("store_ok", len(store)))
+                except BaseException:      # noqa: BLE001 — report it
+                    store = None
+                    conn.send(("store_error", traceback.format_exc()))
+                continue
+            method, images, labels, targets, keys = decode_batch(message)
             try:
                 explainer = explainers[method]
-                start = time.perf_counter()
-                # Plan replay when this replica has compiled the key;
-                # the cache falls back to the tape (applying the
-                # needs_gradients/no_grad contract) otherwise.
-                results = plan_cache.run(explainer, images, labels,
-                                         targets)
-                batch_ms = (time.perf_counter() - start) * 1000.0
+                served: Dict[int, object] = {}
+                if store is not None and keys is not None:
+                    for i, key in enumerate(keys):
+                        if key is None:
+                            continue
+                        found = store.get(tuple(key))
+                        if found is not None:
+                            served[i] = found
+                compute = [i for i in range(len(images))
+                           if i not in served]
+                if store is not None and keys is not None:
+                    store_hits += len(served)
+                    store_misses += len(compute)
+                batch_ms = 0.0
+                computed_results: List = []
+                if compute:
+                    sub_targets = (None if targets is None
+                                   else targets[compute])
+                    start = time.perf_counter()
+                    # Plan replay when this replica has compiled the
+                    # key; the cache falls back to the tape (applying
+                    # the needs_gradients/no_grad contract) otherwise.
+                    computed_results = plan_cache.run(
+                        explainer, images[compute], labels[compute],
+                        sub_targets)
+                    batch_ms = (time.perf_counter() - start) * 1000.0
+                results = [None] * len(images)
+                for i, computed in zip(compute, computed_results):
+                    results[i] = computed
+                for i, (hit, cost) in served.items():
+                    hit.meta = dict(hit.meta or {})
+                    hit.meta["store_hit"] = True
+                    hit.meta["store_cost_ms"] = cost
+                    results[i] = hit
             except BaseException as exc:   # noqa: BLE001 — ship it back
                 conn.send(("error", method, type(exc).__name__, str(exc),
                            traceback.format_exc()))
             else:
                 batches += 1
-                maps += len(images)
+                maps += len(compute)       # store hits did no compute
                 conn.send(("ok", encode_results(results), batch_ms))
     finally:
         plan_cache.close()
+        if store is not None:
+            store.close()
         conn.close()
 
 

@@ -129,6 +129,26 @@ class TestProcessExecutor:
         (cost,) = shard._cost.values()
         assert cost > 50.0
 
+    def test_stats_aggregate_worker_plan_counters(self, pool):
+        # Each replica compiles privately; stats() must sum the per-
+        # worker plan counters (and max arena_bytes) instead of showing
+        # the parent's unused cache.  The shared pool may have compiled
+        # in earlier tests, so the assertions are monotone (>=).
+        engine = _engine(pool, cache_size=64)
+        images = _images(8)
+        labels = np.zeros(4, dtype=np.int64)
+        engine.explain_batch(images[:4], labels, "gradcam")
+        engine.explain_batch(images[4:], labels, "gradcam")
+        plans = engine.stats()["plans"]
+        assert plans is not None
+        assert plans["compiled"] >= 1
+        assert plans["compiled"] + plans["replay_hits"] >= 2
+        assert plans["arena_bytes"] > 0
+        per_worker = [w["plans"] for _, _, ex in [pool]
+                      for w in ex.worker_stats()]
+        assert plans["compiled"] >= max(w["compiled"]
+                                        for w in per_worker)
+
     def test_dedup_exactly_once_across_processes(self, pool):
         _, _, executor = pool
         engine = _engine(pool, max_batch=2)

@@ -1,0 +1,387 @@
+"""Tests for the persistent saliency store (tier 2): record round
+trips, write-behind semantics, journal replay, crash consistency
+(torn-record scan rebuild), segment compaction, the single-writer
+lockfile, read-only openers, engine warm restart, process workers
+serving store hits, and the cache's derived hit-rate stats."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.explain.base import Explainer, SaliencyResult
+from repro.serve import (ExplainEngine, ProcessExecutor, SaliencyCache,
+                         SaliencyStore, StoreClosed, demo_spec,
+                         request_key)
+
+
+def _result(i: int, side: int = 8) -> SaliencyResult:
+    rng = np.random.default_rng(i)
+    return SaliencyResult(rng.random((side, side)).astype(np.float32),
+                          label=i % 3, target_label=None,
+                          meta={"source": "test"})
+
+
+def _key(i: int):
+    return (f"digest-{i:04d}", "gradcam", i % 3, None)
+
+
+def _populate(store: SaliencyStore, n: int, cost: float = 5.0,
+              side: int = 8) -> None:
+    for i in range(n):
+        store.put(_key(i), _result(i, side), cost_ms=cost + i)
+    store.flush()
+
+
+class CountingStub(Explainer):
+    """Deterministic explainer whose compute count exposes what the
+    store absorbed."""
+
+    needs_gradients = False
+
+    def __init__(self):
+        self.computed = 0
+
+    def explain_batch(self, images, labels, target_labels=None):
+        self.computed += len(images)
+        return [SaliencyResult(images[i].mean(axis=0) * (int(y) + 1),
+                               int(y))
+                for i, y in enumerate(labels)]
+
+
+def _images(n: int, side: int = 8) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((n, 1, side, side)).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+class TestStoreBasics:
+    def test_round_trip_quantized_and_frozen(self, tmp_path):
+        with SaliencyStore(str(tmp_path / "s")) as store:
+            original = _result(3)
+            store.put(_key(3), original, cost_ms=12.5)
+            store.flush()
+            hit = store.get(_key(3))
+            assert hit is not None
+            result, cost = hit
+            assert cost == 12.5
+            # float16 quantization: a ranking-preserving ~1e-3 round
+            # trip, widened back to float32, frozen like tier-1 hits.
+            assert result.saliency.dtype == np.float32
+            np.testing.assert_allclose(result.saliency,
+                                       original.saliency, rtol=2e-3, atol=2e-3)
+            assert not result.saliency.flags.writeable
+            assert result.label == original.label
+            assert result.meta["source"] == "test"
+            assert result.image_digest == _key(3)[0]
+            assert store.get(_key(99)) is None
+            assert store.stats()["misses"] == 1
+
+    def test_pending_queue_hit_before_disk(self, tmp_path):
+        store = SaliencyStore(str(tmp_path / "s"), write_behind=False)
+        try:
+            store.put(_key(1), _result(1), cost_ms=3.0)
+            # Nothing drained yet (no flusher thread in synchronous
+            # mode), yet the entry is already servable.
+            assert store.stats()["writes"] == 0
+            hit = store.get(_key(1))
+            assert hit is not None and hit[1] == 3.0
+            assert store.stats()["pending_hits"] == 1
+        finally:
+            store.close()
+
+    def test_coalescing_and_drop_oldest(self, tmp_path):
+        store = SaliencyStore(str(tmp_path / "s"), queue_depth=2,
+                              write_behind=False)
+        try:
+            store.put(_key(1), _result(1), cost_ms=1.0)
+            store.put(_key(1), _result(7), cost_ms=9.0)   # coalesces
+            store.put(_key(2), _result(2), cost_ms=1.0)
+            store.put(_key(3), _result(3), cost_ms=1.0)   # drops key 1
+            stats = store.stats()
+            assert stats["coalesced"] == 1
+            assert stats["write_drops"] == 1
+            store.flush()
+            assert store.stats()["writes"] == 2
+            assert store.get(_key(1)) is None             # dropped
+            hit = store.get(_key(2))
+            assert hit is not None
+        finally:
+            store.close()
+
+    def test_put_rejected_when_closed(self, tmp_path):
+        store = SaliencyStore(str(tmp_path / "s"))
+        store.close()
+        with pytest.raises(StoreClosed):
+            store.put(_key(0), _result(0))
+        store.close()                                     # idempotent
+
+    def test_len_and_contains_like_stats(self, tmp_path):
+        with SaliencyStore(str(tmp_path / "s")) as store:
+            _populate(store, 4)
+            stats = store.stats()
+            assert stats["entries"] == 4
+            assert stats["segments"] >= 1
+            assert stats["bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_journal_replay_reopen(self, tmp_path):
+        directory = str(tmp_path / "s")
+        with SaliencyStore(directory) as store:
+            _populate(store, 6, cost=10.0)
+        with SaliencyStore(directory) as reopened:
+            stats = reopened.stats()
+            assert stats["entries"] == 6
+            assert stats["rebuilds"] == 0                 # journal path
+            for i in range(6):
+                hit = reopened.get(_key(i))
+                assert hit is not None
+                result, cost = hit
+                assert cost == 10.0 + i                   # GDSF persisted
+                np.testing.assert_allclose(result.saliency,
+                                           _result(i).saliency,
+                                           rtol=2e-3, atol=2e-3)
+
+    def test_corrupt_journal_falls_back_to_scan(self, tmp_path):
+        directory = str(tmp_path / "s")
+        with SaliencyStore(directory) as store:
+            _populate(store, 5)
+        with open(os.path.join(directory, "index.jsonl"), "a") as fh:
+            fh.write("not json at all\n")
+        with SaliencyStore(directory) as reopened:
+            stats = reopened.stats()
+            assert stats["rebuilds"] == 1
+            assert stats["entries"] == 5
+            assert all(reopened.get(_key(i)) is not None
+                       for i in range(5))
+
+    def test_torn_tail_record_dropped_scan_keeps_rest(self, tmp_path):
+        """Crash consistency: a write torn mid-record (power loss during
+        the last append) loses exactly that record.  Reopen detects the
+        journal/segment mismatch, CRC-scans the segments, serves every
+        earlier entry with its persisted cost, and keeps accepting
+        appends."""
+        directory = str(tmp_path / "s")
+        n = 8
+        with SaliencyStore(directory) as store:
+            _populate(store, n, cost=20.0)
+        segments = sorted(name for name in os.listdir(directory)
+                          if name.endswith(".seg"))
+        head = os.path.join(directory, segments[-1])
+        size = os.path.getsize(head)
+        with open(head, "r+b") as fh:
+            fh.truncate(size - 7)                 # tear the last record
+        reopened = SaliencyStore(directory)
+        try:
+            stats = reopened.stats()
+            assert stats["rebuilds"] == 1
+            assert stats["entries"] == n - 1
+            assert reopened.get(_key(n - 1)) is None      # torn: gone
+            for i in range(n - 1):                        # rest: intact
+                hit = reopened.get(_key(i))
+                assert hit is not None
+                result, cost = hit
+                assert cost == 20.0 + i
+                np.testing.assert_allclose(result.saliency,
+                                           _result(i).saliency,
+                                           rtol=2e-3, atol=2e-3)
+            # The truncated head still accepts appends.
+            reopened.put(_key(100), _result(100), cost_ms=1.0)
+            reopened.flush()
+            assert reopened.get(_key(100)) is not None
+        finally:
+            reopened.close()
+        # And the post-tear state round-trips through a clean reopen.
+        with SaliencyStore(directory) as again:
+            assert again.stats()["entries"] == n
+            assert again.stats()["rebuilds"] == 0
+            assert again.get(_key(100)) is not None
+
+
+# ----------------------------------------------------------------------
+class TestCapacity:
+    def test_compaction_bounds_disk_usage(self, tmp_path):
+        store = SaliencyStore(str(tmp_path / "s"),
+                              capacity_bytes=16 * 1024,
+                              segment_bytes=4 * 1024,
+                              write_behind=False)
+        try:
+            for i in range(60):
+                store.put(_key(i), _result(i, side=16),
+                          cost_ms=float(i % 7))
+                store.flush()
+            stats = store.stats()
+            assert stats["compactions"] >= 1
+            assert stats["evictions"] >= 1
+            assert stats["bytes"] <= 16 * 1024 + 4 * 1024
+            assert 0 < stats["entries"] < 60
+            # Every surviving index entry must still decode.
+            survivors = [tuple(row[:4]) for row in store.index_snapshot()]
+            assert survivors
+            for key in survivors:
+                key = (key[0], key[1], key[2], key[3])
+                assert store.get(key) is not None
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+class TestSingleWriter:
+    def test_second_writer_excluded_until_close(self, tmp_path):
+        directory = str(tmp_path / "s")
+        store = SaliencyStore(directory)
+        with pytest.raises(RuntimeError, match="single-writer"):
+            SaliencyStore(directory)
+        store.close()
+        with SaliencyStore(directory) as second:          # lock released
+            assert not second.read_only
+
+    def test_read_only_opener_and_snapshot(self, tmp_path):
+        directory = str(tmp_path / "s")
+        with SaliencyStore(directory) as writer:
+            _populate(writer, 3, cost=4.0)
+            # Readers coexist with the live writer: snapshot attach.
+            reader = SaliencyStore.open_readonly(
+                directory, snapshot=writer.index_snapshot())
+            try:
+                assert reader.read_only
+                hit = reader.get(_key(1))
+                assert hit is not None and hit[1] == 5.0
+                with pytest.raises(StoreClosed, match="read-only"):
+                    reader.put(_key(9), _result(9))
+            finally:
+                reader.close()
+        # Directory-scan read-only open (no writer, no snapshot).
+        reader = SaliencyStore.open_readonly(directory)
+        try:
+            assert all(reader.get(_key(i)) is not None for i in range(3))
+        finally:
+            reader.close()
+        # The reader must not have stolen the writer lock.
+        with SaliencyStore(directory) as writer2:
+            assert writer2.stats()["entries"] == 3
+
+
+# ----------------------------------------------------------------------
+class TestEngineWarmRestart:
+    def test_restart_serves_from_store_without_compute(self, tmp_path):
+        directory = str(tmp_path / "store")
+        images = _images(6)
+        labels = [0, 1, 2, 0, 1, 2]
+
+        first = CountingStub()
+        with ExplainEngine(None, {"stub": first}, max_batch=4,
+                           store=directory) as engine:
+            originals = [engine.explain(images[i], labels[i], "stub")
+                         for i in range(6)]
+            assert first.computed == 6
+
+        # Fresh engine, fresh stub, same directory: everything must be
+        # served from disk with the persisted costs.
+        second = CountingStub()
+        with ExplainEngine(None, {"stub": second}, max_batch=4,
+                           store=directory) as engine:
+            warm = [engine.explain(images[i], labels[i], "stub")
+                    for i in range(6)]
+            stats = engine.stats()
+            assert second.computed == 0
+            assert stats["store_served"] == 6
+            assert stats["weighted_hit_rate"] == 1.0
+            assert stats["store"]["hits"] == 6
+            for w, o in zip(warm, originals):
+                np.testing.assert_allclose(w.saliency, o.saliency,
+                                           rtol=2e-3, atol=2e-3)
+                assert w.label == o.label
+                assert w.image_digest == o.image_digest
+
+    def test_engine_without_store_reports_none(self):
+        with ExplainEngine(None, {"stub": CountingStub()},
+                           max_batch=2) as engine:
+            engine.explain(_images(1)[0], 0, "stub")
+            stats = engine.stats()
+            assert stats["store"] is None
+            assert stats["store_served"] == 0
+            assert stats["hit_rate"] == 0.0
+
+
+# ----------------------------------------------------------------------
+class TestWorkerStore:
+    def test_worker_serves_store_hits_read_only(self, tmp_path):
+        directory = str(tmp_path / "store")
+        spec = demo_spec(("gradcam",))
+        classifier, explainers = spec.materialize()
+        images = _images(4, side=16)
+        labels = np.array([0, 1, 0, 1], dtype=np.int64)
+
+        # Populate through a serial engine sharing the worker's spec.
+        with ExplainEngine(classifier, explainers, max_batch=4,
+                           store=directory) as engine:
+            originals = engine.explain_batch(images, labels, "gradcam")
+
+        executor = ProcessExecutor(spec, workers=1)
+        reader = SaliencyStore.open_readonly(directory)
+        try:
+            attached = executor.attach_store(directory,
+                                             reader.index_snapshot())
+            assert attached == 1
+            keys = [list(request_key(images[i], "gradcam",
+                                     int(labels[i]), None))
+                    for i in range(4)]
+            results, batch_ms = executor.run_batch("gradcam", images,
+                                                   labels, None,
+                                                   keys=keys)
+            assert all(r.meta.get("store_hit") for r in results)
+            for r, o in zip(results, originals):
+                np.testing.assert_allclose(r.saliency, o.saliency,
+                                           rtol=2e-3, atol=2e-3)
+            worker = executor.worker_stats()
+            assert sum(w["store"]["hits"] for w in worker) == 4
+            assert sum(w["maps"] for w in worker) == 0    # no compute
+
+            # Mixed batch: two known keys, two unknown — the worker
+            # computes only the misses and bills only their wall time.
+            mixed = np.concatenate([images[:2], _images(2, side=16) + 5.0])
+            mixed_labels = np.array([0, 1, 0, 1], dtype=np.int64)
+            mixed_keys = [list(request_key(mixed[i], "gradcam",
+                                           int(mixed_labels[i]), None))
+                          for i in range(4)]
+            results, _ = executor.run_batch("gradcam", mixed,
+                                            mixed_labels, None,
+                                            keys=mixed_keys)
+            flags = [bool(r.meta.get("store_hit")) for r in results]
+            assert flags == [True, True, False, False]
+            worker = executor.worker_stats()
+            assert sum(w["store"]["hits"] for w in worker) == 6
+            assert sum(w["store"]["misses"] for w in worker) == 2
+            assert sum(w["maps"] for w in worker) == 2
+        finally:
+            reader.close()
+            executor.shutdown()
+
+
+# ----------------------------------------------------------------------
+class TestCacheRates:
+    def test_hit_rate_and_weighted_hit_rate(self):
+        cache = SaliencyCache(capacity=8)
+        assert cache.stats()["hit_rate"] is None          # no traffic
+        assert cache.stats()["weighted_hit_rate"] is None
+        cache.put(_key(1), _result(1), cost_ms=30.0)      # computed
+        assert cache.get(_key(1)) is not None             # hit: +30
+        assert cache.get(_key(2)) is None                 # miss
+        stats = cache.stats()
+        assert stats["hit_rate"] == 0.5
+        assert stats["weighted_hit_rate"] == pytest.approx(0.5)
+
+    def test_uncomputed_inserts_do_not_bill_compute(self):
+        cache = SaliencyCache(capacity=8)
+        # A tier-2 promotion paid no compute now: the persisted cost
+        # rides the entry (for eviction and future hit credit) but the
+        # insert itself adds nothing to the requested-compute base.
+        cache.put(_key(1), _result(1), cost_ms=40.0, computed=False)
+        assert cache.insert_cost_ms == 0.0
+        assert cache.get(_key(1)) is not None
+        stats = cache.stats()
+        assert stats["hit_cost_ms"] == 40.0
+        assert stats["weighted_hit_rate"] == 1.0
