@@ -279,6 +279,7 @@ class ExplainEngine:
         else:
             self._store = SaliencyStore(os.fspath(store))
         self.store_served = 0
+        self._store_attached_compactions = 0
         if self._store is not None:
             attach = getattr(self._executor, "attach_store", None)
             if attach is not None:
@@ -288,8 +289,31 @@ class ExplainEngine:
                 # compute.
                 attach(self._store.directory,
                        self._store.index_snapshot())
+                self._store_attached_compactions = self._store.compactions
         self.batches_run = 0
         self.requests_served = 0
+
+    def _refresh_worker_store(self) -> None:
+        """Re-ship the store's index snapshot to process workers when
+        compaction retired segments since the last attach.  A stale
+        worker entry already degrades to compute (the read-only get
+        treats a vanished segment as a miss), so this is freshness,
+        not correctness: refreshed workers stop probing dead segments
+        and pick up everything persisted since.  Called at drain()'s
+        idle point, where attach_store's wait-for-idle is instant."""
+        if self._store is None or self._closed:
+            return
+        attach = getattr(self._executor, "attach_store", None)
+        if attach is None:
+            return
+        compactions = self._store.compactions
+        if compactions == self._store_attached_compactions:
+            return
+        try:
+            attach(self._store.directory, self._store.index_snapshot())
+            self._store_attached_compactions = compactions
+        except Exception:                  # noqa: BLE001 — best-effort
+            pass
 
     # ------------------------------------------------------------------
     @property
@@ -522,20 +546,23 @@ class ExplainEngine:
         n_computed = sum(computed)
         cost_ms = batch_ms / max(n_computed, 1)
         served = 0
+        store_puts: List[Tuple[CacheKey, SaliencyResult]] = []
         with self._lock:
             self.batches_run += 1
-            self._scheduler.observe(queue_key, batch_ms,
-                                    max(n_computed, 1))
+            if n_computed:
+                # A batch served entirely by worker store hits did no
+                # compute: feeding the scheduler a zero-millisecond
+                # observation would drag its adaptive per-map cost
+                # estimate toward zero, so there is nothing to learn
+                # from here.
+                self._scheduler.observe(queue_key, batch_ms, n_computed)
             for request, result, was_computed in zip(requests, results,
                                                      computed):
                 result.image_digest = request.key[0]
                 if was_computed:
                     self.cache.put(request.key, result, cost_ms=cost_ms)
                     if self._store is not None:
-                        # Write-behind: enqueue only; the store's
-                        # flusher thread owns the disk I/O.
-                        self._store.put(request.key, result,
-                                        cost_ms=cost_ms)
+                        store_puts.append((request.key, result))
                 else:
                     stored_cost = result.meta.get("store_cost_ms")
                     self.cache.put(request.key, result,
@@ -550,6 +577,11 @@ class ExplainEngine:
             self._scheduler.mark_complete(requests)
             self._unresolved -= sum(1 for r in requests if r.counted)
             self._admission.notify_all()   # room freed: wake blocked submits
+        # Write-behind enqueues run outside the engine lock: put() takes
+        # the store lock, and a store mid-drain must never transitively
+        # stall every submit racing through the critical section above.
+        for key, result in store_puts:
+            self._store.put(key, result, cost_ms=cost_ms)
         return served
 
     def _pop_and_prepare(self, method: Optional[str],
@@ -746,6 +778,7 @@ class ExplainEngine:
                     idle = (not self._inflight
                             and self._scheduler.pending_count() == 0)
                 if idle:
+                    self._refresh_worker_store()
                     return resolved
         except BaseException:
             with self._lock:

@@ -246,6 +246,11 @@ class SaliencyStore:
         self.read_only = False
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.RLock()
+        # Serializes the writer role (flusher thread, synchronous
+        # flush() callers, close()) so all file I/O runs outside
+        # self._lock: _io_lock -> _lock is the only nesting order.
+        self._io_lock = threading.Lock()
+        self._drain_active = False
         self._index: Dict[CacheKey, _Entry] = {}
         self._segments: Dict[int, int] = {}     # id -> flushed byte size
         self._mmaps: Dict[int, Tuple[mmap.mmap, int]] = {}
@@ -298,6 +303,8 @@ class SaliencyStore:
         store.queue_depth = 1
         store.read_only = True
         store._lock = threading.RLock()
+        store._io_lock = threading.Lock()
+        store._drain_active = False
         store._index = {}
         store._segments = {}
         store._mmaps = {}
@@ -357,6 +364,8 @@ class SaliencyStore:
                 try:
                     with open(path) as fh:
                         pid = int(fh.read().strip() or "0")
+                except FileNotFoundError:
+                    continue               # holder vanished: retry create
                 except (OSError, ValueError):
                     pid = 0
                 if pid and _pid_alive(pid):
@@ -364,11 +373,37 @@ class SaliencyStore:
                         f"store {self.directory!r} is locked by live "
                         f"writer pid {pid}; open_readonly() for "
                         "additional readers (single-writer rule)")
-                # Stale lock (writer died without close): take over.
+                # Stale lock (writer died without close): take over
+                # atomically.  rename() is the claim — of all the
+                # contenders that read the dead pid, exactly one wins
+                # (the rest get ENOENT and loop, finding either the
+                # winner's fresh lock or no file).  A plain unlink here
+                # would race: two contenders could both read the dead
+                # pid and the second unlink would remove the first
+                # winner's freshly written lock.
+                claimed = path + f".stale.{os.getpid()}"
                 try:
-                    os.unlink(path)
-                except FileNotFoundError:
-                    pass
+                    os.rename(path, claimed)
+                except OSError:
+                    continue
+                # Re-check what we claimed: a fresh owner may have
+                # replaced the lock between our read and the rename.
+                try:
+                    with open(claimed) as fh:
+                        owner = int(fh.read().strip() or "0")
+                except (OSError, ValueError):
+                    owner = 0
+                if owner and _pid_alive(owner):
+                    try:                   # hand a live owner's lock back
+                        os.link(claimed, path)
+                    except OSError:
+                        pass               # a newer lock already exists
+                    os.unlink(claimed)
+                    raise RuntimeError(
+                        f"store {self.directory!r} is locked by live "
+                        f"writer pid {owner}; open_readonly() for "
+                        "additional readers (single-writer rule)")
+                os.unlink(claimed)
                 continue
             with os.fdopen(fd, "w") as fh:
                 fh.write(str(os.getpid()))
@@ -571,13 +606,23 @@ class SaliencyStore:
                 return None
             self._seq += 1.0
             entry.clock = max(self._seq, self._clock)   # GDSF recency
-            view = self._read_span(entry.segment, entry.offset,
-                                   entry.length)
+            try:
+                view = self._read_span(entry.segment, entry.offset,
+                                       entry.length)
+            except (OSError, ValueError):
+                # The segment is gone (or unmappable): the single
+                # writer's compaction deleted it after this read-only
+                # opener took its index snapshot.  A stale entry is a
+                # miss, not an error — forget it so the caller falls
+                # back to compute.
+                self._index.pop(key, None)
+                self.misses += 1
+                return None
             self.hits += 1
             self.hit_cost_ms += entry.cost
         try:
             _key, result, cost, _length = _decode_record(view)
-        except ValueError:
+        except (OSError, ValueError):
             # A record the index points at but cannot be parsed —
             # corruption past open-time validation.  Forget the entry
             # and report a miss rather than poisoning the caller.
@@ -617,13 +662,15 @@ class SaliencyStore:
         if self.read_only:
             return
         if self._flusher is None:
-            with self._lock:
-                self._drain_once()
+            self._drain_once()
             return
         deadline = None if timeout is None else (os.times().elapsed
                                                  + timeout)
         with self._wake:
-            while self._pending and not self._closed:
+            # _drain_active covers the window where the flusher popped
+            # the last pending entries but has not fsynced them yet.
+            while ((self._pending or self._drain_active)
+                   and not self._closed):
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - os.times().elapsed
@@ -667,17 +714,17 @@ class SaliencyStore:
         with self._wake:
             if self._closed:
                 return
+            self._closed = True            # no further put()/get()
             if self.read_only:
-                self._closed = True
                 self._close_maps()
                 return
-            # Drain on this thread: deterministic, and correct whether
-            # or not a flusher thread exists.
-            self._drain_once()
-            self._closed = True
             self._wake.notify_all()
         if self._flusher is not None:
             self._flusher.join(timeout=5.0)
+        # Final drain on this thread (deterministic, and correct
+        # whether or not a flusher thread existed): anything enqueued
+        # after the flusher's last round still reaches disk.
+        self._drain_once()
         with self._lock:
             self._close_maps()
             if self._head_file is not None:
@@ -714,56 +761,77 @@ class SaliencyStore:
                     self._wake.wait(timeout=0.2)
                 if self._closed:
                     return
-                self._drain_once()
-                self._wake.notify_all()    # flush() waiters
+            self._drain_once()
 
-    def _drain_once(self, max_records: Optional[int] = None) -> None:
+    def _drain_once(self) -> None:
         """Write every pending entry (one fsync for the whole round),
         publish index entries + journal lines, then reclaim capacity.
-        Called under the store lock."""
-        wrote = 0
-        while self._pending:
-            if max_records is not None and wrote >= max_records:
-                break
-            key, (result, cost_ms) = self._pending.popitem(last=False)
-            try:
-                record, size = _encode_record(key, result, cost_ms)
-            except (ValueError, TypeError):
-                continue                   # unencodable result: skip it
-            self._append_record(key, record,
-                                0.0 if cost_ms is None else float(cost_ms),
-                                size)
-            wrote += 1
-        if wrote:
-            self._sync()
-            self._maybe_compact()
 
-    def _append_record(self, key: CacheKey, record: bytes, cost: float,
-                       size: float) -> None:
+        All disk work — npz encode, file writes, fsync, compaction —
+        runs *outside* the store lock, which is taken only for the
+        queue pops and the index publishes, so ``get()``/``put()`` on
+        the serving hot path never wait behind I/O.  ``_io_lock``
+        serializes the writer role across the flusher thread,
+        synchronous ``flush()`` callers, and ``close()``."""
+        with self._io_lock:
+            try:
+                wrote = 0
+                while True:
+                    with self._wake:
+                        if not self._pending:
+                            break
+                        self._drain_active = True
+                        key, (result, cost_ms) = self._pending.popitem(
+                            last=False)
+                    try:
+                        record, size = _encode_record(key, result, cost_ms)
+                    except (ValueError, TypeError):
+                        continue           # unencodable result: skip it
+                    self._write_record(
+                        key, record,
+                        0.0 if cost_ms is None else float(cost_ms), size)
+                    wrote += 1
+                if wrote:
+                    self._sync()
+                    self._maybe_compact()
+            finally:
+                with self._wake:
+                    self._drain_active = False
+                    self._wake.notify_all()   # flush() waiters
+
+    def _write_record(self, key: CacheKey, record: bytes, cost: float,
+                      size: float) -> None:
+        """Append one framed record to the head segment and publish it
+        to the index + journal.  Runs on the writer thread (under
+        ``_io_lock``); only the publish takes the store lock, so the
+        file write never blocks readers."""
         if self._segments[self._head] >= self.segment_bytes:
             self._roll_head()
-        offset = self._segments[self._head]
+        head = self._head
+        offset = self._segments[head]
         self._head_file.write(record)
         # OS-level flush before publishing: the entry must be readable
         # through a fresh mmap the moment it enters the index (fsync —
         # durability — is batched per drain round in _sync()).
         self._head_file.flush()
-        self._seq += 1.0
-        self._index[key] = _Entry(self._head, offset, len(record), cost,
-                                  size, max(self._seq, self._clock))
-        self._segments[self._head] = offset + len(record)
         self._journal_file.write(json.dumps(
-            {"op": "put", "key": list(key), "seg": self._head,
+            {"op": "put", "key": list(key), "seg": head,
              "off": offset, "len": len(record), "cost": cost,
              "size": size}, separators=(",", ":")) + "\n")
-        self.writes += 1
+        with self._lock:
+            self._seq += 1.0
+            self._index[key] = _Entry(head, offset, len(record), cost,
+                                      size, max(self._seq, self._clock))
+            self._segments[head] = offset + len(record)
+            self.writes += 1
 
     def _roll_head(self) -> None:
         self._head_file.close()
         head = max(self._segments) + 1
-        self._head = head
-        self._segments[head] = 0
         self._head_file = open(self._segment_path(head), "ab")
+        with self._lock:
+            self._head = head
+            self._segments[head] = 0
 
     def _sync(self) -> None:
         """One fsync pair per drained batch — the 'fsync batching' that
@@ -779,47 +847,73 @@ class SaliencyStore:
         """Reclaim capacity by whole-segment compaction: pick the
         coldest sealed segment (lowest summed GDSF priority over its
         live records), rewrite the records worth keeping to the head
-        (hot-first, raw byte copy), evict the rest, delete the file."""
+        (hot-first, raw byte copy), evict the rest, delete the file.
+
+        Runs on the writer thread (under ``_io_lock``).  The store
+        lock is held only for the victim selection and the per-record
+        index updates — never across the victim read or the rewrites —
+        so a multi-megabyte compaction can't stall ``get()``/``put()``.
+        """
         guard = len(self._segments) + 2
-        while sum(self._segments.values()) > self.capacity_bytes and guard:
+        while guard:
             guard -= 1
-            sealed = [seg for seg in self._segments if seg != self._head]
-            if not sealed:
+            with self._lock:
+                if sum(self._segments.values()) <= self.capacity_bytes:
+                    return
+                sealed = [seg for seg in self._segments
+                          if seg != self._head]
+                victim = None
+                if sealed:
+                    by_segment: Dict[int, List[Tuple[CacheKey, _Entry]]] \
+                        = {seg: [] for seg in sealed}
+                    for key, entry in self._index.items():
+                        if entry.segment in by_segment:
+                            by_segment[entry.segment].append((key, entry))
+                    victim = min(sealed, key=lambda seg: sum(
+                        _priority(e, self._clock)
+                        for _k, e in by_segment[seg]))
+                    live = sorted(
+                        by_segment[victim],
+                        key=lambda item: _priority(item[1], self._clock),
+                        reverse=True)
+                    victim_bytes = self._segments[victim]
+                    budget = self.capacity_bytes - (
+                        sum(self._segments.values()) - victim_bytes)
+            if victim is None:
                 self._roll_head()          # seal the head so it's eligible
                 continue
-            by_segment: Dict[int, List[Tuple[CacheKey, _Entry]]] = \
-                {seg: [] for seg in sealed}
-            for key, entry in self._index.items():
-                if entry.segment in by_segment:
-                    by_segment[entry.segment].append((key, entry))
-            victim = min(sealed, key=lambda seg: sum(
-                _priority(e, self._clock) for _k, e in by_segment[seg]))
-            live = sorted(by_segment[victim],
-                          key=lambda item: _priority(item[1], self._clock),
-                          reverse=True)
-            victim_bytes = self._segments[victim]
-            budget = self.capacity_bytes - (sum(self._segments.values())
-                                            - victim_bytes)
-            rewritten = 0
+            # One plain read of the whole victim, outside the lock:
+            # sealed segments are fully flushed and records are
+            # immutable bytes, so no mmap-cache traffic with get().
+            try:
+                with open(self._segment_path(victim), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                data = b""
+            rewritten = evicted = 0
             for key, entry in live:
-                if entry.length <= budget:
-                    view = self._read_span(victim, entry.offset,
-                                           entry.length)
-                    self._append_record(key, bytes(view), entry.cost,
-                                        entry.size)
+                end = entry.offset + entry.length
+                if entry.length <= budget and end <= len(data):
+                    self._write_record(key, data[entry.offset:end],
+                                       entry.cost, entry.size)
                     budget -= entry.length
                     rewritten += 1
                 else:
                     # GDSF eviction: the clock ratchets to the dropped
                     # priority so long-untouched entries age out.
-                    self._clock = max(self._clock,
-                                      _priority(entry, self._clock))
-                    del self._index[key]
-                    self.evictions += 1
-            mapped = self._mmaps.pop(victim, None)
-            if mapped is not None:
-                _close_map(mapped[0])
-            del self._segments[victim]
+                    with self._lock:
+                        self._clock = max(self._clock,
+                                          _priority(entry, self._clock))
+                        if self._index.get(key) is entry:
+                            del self._index[key]
+                            self.evictions += 1
+                            evicted += 1
+            with self._lock:
+                mapped = self._mmaps.pop(victim, None)
+                if mapped is not None:
+                    _close_map(mapped[0])
+                self._segments.pop(victim, None)
+                self.compactions += 1
             try:
                 os.unlink(self._segment_path(victim))
             except OSError:
@@ -827,8 +921,10 @@ class SaliencyStore:
             self._journal_file.write(json.dumps(
                 {"op": "drop", "seg": victim},
                 separators=(",", ":")) + "\n")
-            self.compactions += 1
-            if rewritten or self.evictions:
+            # Sync only when this round actually moved or dropped
+            # records (the lifetime eviction counter would force an
+            # fsync on every later compaction after the first).
+            if rewritten or evicted:
                 self._sync()
 
 

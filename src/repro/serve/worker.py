@@ -237,7 +237,14 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     for i, key in enumerate(keys):
                         if key is None:
                             continue
-                        found = store.get(tuple(key))
+                        try:
+                            found = store.get(tuple(key))
+                        except Exception:  # noqa: BLE001
+                            # A store problem (e.g. a snapshot entry
+                            # whose segment the writer compacted away)
+                            # must degrade to compute, never fail the
+                            # whole batch.
+                            found = None
                         if found is not None:
                             served[i] = found
                 compute = [i for i in range(len(images))

@@ -227,6 +227,34 @@ class TestCapacity:
             store.close()
 
 
+    def test_stale_snapshot_entry_is_miss_not_error(self, tmp_path):
+        """A read-only opener attached via index snapshot must survive
+        the writer compacting (deleting) a segment its snapshot still
+        points at: the probe is a clean miss — never FileNotFoundError
+        — so callers fall back to compute."""
+        directory = str(tmp_path / "s")
+        with SaliencyStore(directory, capacity_bytes=16 * 1024,
+                           segment_bytes=4 * 1024,
+                           write_behind=False) as writer:
+            for i in range(10):
+                writer.put(_key(i), _result(i, side=16), cost_ms=1.0)
+            writer.flush()
+            reader = SaliencyStore.open_readonly(
+                directory, snapshot=writer.index_snapshot())
+            try:
+                # Flood the writer past capacity so compaction retires
+                # segments the reader's one-time snapshot references.
+                for i in range(10, 60):
+                    writer.put(_key(i), _result(i, side=16), cost_ms=1.0)
+                    writer.flush()
+                assert writer.stats()["compactions"] >= 1
+                for i in range(10):        # hit or miss, never raise
+                    reader.get(_key(i))
+                assert reader.stats()["misses"] >= 1
+            finally:
+                reader.close()
+
+
 # ----------------------------------------------------------------------
 class TestSingleWriter:
     def test_second_writer_excluded_until_close(self, tmp_path):
@@ -295,6 +323,53 @@ class TestEngineWarmRestart:
                                            rtol=2e-3, atol=2e-3)
                 assert w.label == o.label
                 assert w.image_digest == o.image_digest
+
+    def test_all_store_hit_batch_skips_scheduler_observe(self, tmp_path):
+        """A batch every request of which was a worker store hit did no
+        compute: it must not feed the scheduler a fabricated
+        zero-millisecond observation that would drag the adaptive
+        per-map cost estimate toward zero."""
+        from repro.explain.base import SaliencyResult as SR
+
+        class _StoreHitExecutor:
+            """Remote-compute stub whose every result is a store hit."""
+
+            name = "fake-remote"
+
+            def submit(self, fn, *args):
+                from concurrent.futures import Future
+                future = Future()
+                future.set_running_or_notify_cancel()
+                try:
+                    future.set_result(fn(*args))
+                except BaseException as exc:   # noqa: BLE001
+                    future.set_exception(exc)
+                return future
+
+            def shutdown(self, wait=True):
+                pass
+
+            def run_batch(self, method, images, labels, targets,
+                          keys=None):
+                results = [SR(np.zeros(images.shape[2:], np.float32),
+                              int(y), meta={"store_hit": True,
+                                            "store_cost_ms": 7.0})
+                           for y in labels]
+                return results, 0.0
+
+        engine = ExplainEngine(None, {"stub": CountingStub()},
+                               max_batch=2, min_batch=1,
+                               store=str(tmp_path / "s"),
+                               executor=_StoreHitExecutor())
+        try:
+            observations = []
+            engine._scheduler.observe = (
+                lambda *args, **kwargs: observations.append(args))
+            engine.explain_batch(_images(2), np.array([0, 1]), "stub")
+            assert engine.stats()["batches_run"] >= 1
+            assert observations == []
+        finally:
+            engine.close()
 
     def test_engine_without_store_reports_none(self):
         with ExplainEngine(None, {"stub": CountingStub()},
