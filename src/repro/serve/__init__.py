@@ -26,6 +26,17 @@ The package splits the serving layer into four pieces:
   overhead threads cannot parallelize).
 * :mod:`~repro.serve.worker` — the process-worker side: the
   :class:`EngineSpec` recipe, the payload codec, and the worker loop.
+* :mod:`~repro.serve.transport` — the zero-copy payload path under the
+  process pool: per-worker double-buffered shared-memory arenas
+  (:class:`ShmArena` parent-side, :class:`ArenaClient` worker-side)
+  carry the ndarray payloads while the pipe carries compact headers,
+  letting the dispatcher encode the next batch while the worker
+  computes the current one.  Arenas grow geometrically, stale or
+  oversized payloads degrade that one batch to the pipe codec, the
+  parent owns every ``/dev/shm`` segment (crashes leak nothing), and
+  ``REPRO_SERVE_TRANSPORT=pipe`` — or a platform without
+  ``multiprocessing.shared_memory`` — keeps the pickle codec
+  byte-for-byte.
 * :mod:`~repro.serve.plans` — :class:`PlanCache`: compiled execution
   plans for the shape-repetitive hot path.  The first batch of a
   plan-eligible method on a new ``(method, batch_shape, dtype)`` key is
@@ -91,10 +102,12 @@ from .cache import (EVICTION_POLICIES, CacheKey, SaliencyCache,
 from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
                      PendingExplain)
 from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
-                       make_executor)
+                       default_worker_count, make_executor)
 from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 from .store import SaliencyStore, StoreClosed
+from .transport import (TRANSPORTS, ArenaClient, ShmArena, TransportStats,
+                        have_shared_memory, resolve_transport)
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
                      demo_spec)
 
@@ -105,6 +118,9 @@ __all__ = [
     "image_digest", "request_key",
     "MicroBatchScheduler", "ExplainRequest", "QueueKey",
     "SerialExecutor", "ThreadedExecutor", "ProcessExecutor",
-    "make_executor", "PlanCache", "SaliencyStore", "StoreClosed",
+    "default_worker_count", "make_executor", "PlanCache",
+    "SaliencyStore", "StoreClosed",
+    "TRANSPORTS", "ShmArena", "ArenaClient", "TransportStats",
+    "have_shared_memory", "resolve_transport",
     "EngineSpec", "WorkerBatchError", "WorkerCrashed", "demo_spec",
 ]

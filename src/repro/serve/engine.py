@@ -361,6 +361,16 @@ class ExplainEngine:
         plans = (self._plan_cache.stats()
                  if self._plan_cache is not None else None)
         store = self._store.stats() if self._store is not None else None
+        # Transport counters (process pool only): bytes moved per path,
+        # copies avoided, arena footprint, fallbacks, and how often a
+        # send overlapped a busy worker's in-flight batch.
+        transport = None
+        transport_gather = getattr(self._executor, "transport_stats", None)
+        if transport_gather is not None and not self._closed:
+            try:
+                transport = transport_gather()
+            except Exception:              # noqa: BLE001 — best-effort
+                transport = None
         if worker_stats:
             plans = _merge_plan_stats(plans, worker_stats)
             if store is not None:
@@ -408,6 +418,7 @@ class ExplainEngine:
                 "eviction": self.cache.policy,
                 "executor": self._executor.name,
                 "plans": plans,
+                "transport": transport,
             }
 
     def pending_count(self, method: Optional[str] = None) -> int:
@@ -483,7 +494,6 @@ class ExplainEngine:
         resolved (>= ``len(requests)`` when dedup fanned out)."""
         method = queue_key[0]
         explainer = self._explainer(method)
-        images = np.stack([r.image for r in requests])
         labels = np.array([r.label for r in requests], dtype=np.int64)
         if any(r.target_label is not None for r in requests):
             targets = np.array(
@@ -502,6 +512,15 @@ class ExplainEngine:
             # surfaced in its own type with the crash as the cause.
             keys = ([list(r.key) for r in requests]
                     if self._store is not None else None)
+            # An executor that accepts the per-request image list gets
+            # it unstacked: the shm transport writes each image straight
+            # into its arena slot, so the intermediate np.stack copy
+            # never exists.  Duck-typed run_batch implementations keep
+            # the stacked-array contract.
+            if getattr(self._executor, "accepts_image_list", False):
+                images = [r.image for r in requests]
+            else:
+                images = np.stack([r.image for r in requests])
             try:
                 results, batch_ms = remote(method, images, labels, targets,
                                            keys=keys)
@@ -513,6 +532,7 @@ class ExplainEngine:
                     ) from exc
                 raise
         else:
+            images = np.stack([r.image for r in requests])
             with self._method_locks[method]:
                 # Time inside the method lock: a batch that convoyed
                 # behind another batch of its method must not bill the

@@ -18,19 +18,40 @@ them interchangeably.  The process pool additionally exposes
 ``run_batch`` — the remote-compute channel the engine duck-types for —
 because the submitted callable itself (engine locks, cache inserts,
 handle resolution) must keep running in the parent process.
+
+The process pool speaks one of two transports (see
+:mod:`repro.serve.transport`): ``"shm"`` moves ndarray payloads through
+per-worker double-buffered shared-memory arenas while the pipe carries
+only compact headers — with two slots per worker the dispatcher encodes
+batch N+1 while the worker computes batch N; ``"pipe"`` is the PR 5
+pickle codec, byte-for-byte.  ``"auto"`` (the default) honours the
+``REPRO_SERVE_TRANSPORT`` environment knob and otherwise picks shared
+memory wherever the platform provides it.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .transport import (ShmArena, TransportStats, resolve_transport)
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
-                     decode_results, encode_batch, worker_main)
+                     decode_results, decode_shm_results, encode_batch,
+                     worker_main)
+
+
+def default_worker_count(maximum: int = 8) -> int:
+    """Worker-pool sizing when the caller does not choose: one worker
+    per visible core, clamped to ``maximum`` (explainer batches are
+    BLAS-heavy — past a handful of workers the memory bus, not the core
+    count, is the limit) and floored at one."""
+    return max(1, min(os.cpu_count() or 1, maximum))
 
 
 class SerialExecutor:
@@ -75,11 +96,18 @@ class ThreadedExecutor:
     ``nn.frozen`` is reference-counted, and the engine serializes
     batches of the same method with a per-method lock (explainer objects
     are not audited for internal thread safety).
+
+    ``workers=None`` (the default) sizes the pool from
+    :func:`default_worker_count` — one thread per visible core, clamped
+    — instead of a hardcoded constant that under-subscribes big hosts
+    and over-subscribes small ones.
     """
 
     name = "threaded"
 
-    def __init__(self, workers: int = 4):
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = default_worker_count()
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -108,15 +136,43 @@ class ThreadedExecutor:
         return f"ThreadedExecutor(workers={self.workers})"
 
 
+#: Distinguishes arenas of executors that coexist in one parent process
+#: (segment names embed pid + this sequence number).
+_ARENA_SEQ = itertools.count()
+
+
 class _WorkerChannel:
-    """One worker process plus the parent's end of its message pipe."""
+    """One worker process plus the parent's end of its message pipe.
 
-    __slots__ = ("process", "conn", "dead")
+    ``inflight`` counts batches currently between send and release on
+    this channel (bounded by ``slots``: 1 on the pipe transport, the
+    arena's slot count on shm).  Under shm, replies for the (up to two)
+    in-flight batches can interleave, so waiting dispatcher threads
+    elect one **receiver** at a time (``receiving``): it pulls the next
+    reply off the pipe, routes it into ``replies`` by the slot id every
+    slot-routed reply carries at index 1, and wakes the waiters on
+    ``rcond``.  ``crash`` latches the first transport error so every
+    concurrent waiter — not just the receiver that observed EOF —
+    raises :class:`WorkerCrashed`.
+    """
 
-    def __init__(self, process, conn):
+    __slots__ = ("process", "conn", "dead", "reaped", "inflight", "slots",
+                 "arena", "send_lock", "rcond", "replies", "receiving",
+                 "crash")
+
+    def __init__(self, process, conn, slots: int = 1):
         self.process = process
         self.conn = conn
         self.dead = False
+        self.reaped = False
+        self.inflight = 0
+        self.slots = slots
+        self.arena: Optional[ShmArena] = None
+        self.send_lock = threading.Lock()
+        self.rcond = threading.Condition()
+        self.replies = {}
+        self.receiving = False
+        self.crash: Optional[BaseException] = None
 
 
 class ProcessExecutor:
@@ -125,26 +181,41 @@ class ProcessExecutor:
     Each worker is initialized exactly once: it materializes the
     engine's models from a picklable :class:`~repro.serve.worker.
     EngineSpec` at startup (never per-batch pickling of live modules)
-    and then serves compact micro-batch payloads — method name, stacked
-    float32 images, labels/targets in; stacked saliency maps plus the
-    worker-measured per-map cost out.  Because every worker owns private
-    model replicas in its own interpreter, there is no GIL to share and
-    no per-method lock to hold: the python-heavy explainer overhead
-    that caps :class:`ThreadedExecutor` at ~1.0x scales across cores.
+    and then serves compact micro-batch payloads.  Because every worker
+    owns private model replicas in its own interpreter, there is no GIL
+    to share and no per-method lock to hold: the python-heavy explainer
+    overhead that caps :class:`ThreadedExecutor` at ~1.0x scales across
+    cores.
+
+    **Transport.**  On ``transport="shm"`` (the ``"auto"`` default
+    wherever ``multiprocessing.shared_memory`` exists) each channel
+    owns a double-buffered :class:`~repro.serve.transport.ShmArena`:
+    ``run_batch`` writes the image stack straight into a free slot's
+    out segment (no pickle, no intermediate stack copy), sends a small
+    header, and the worker writes the stacked saliency into the return
+    segment.  Two slots per worker mean a second dispatcher thread can
+    encode the next batch into the free slot while the worker computes
+    — the dispatcher pool is sized ``workers * slots`` so that overlap
+    actually gets a thread.  Arenas grow geometrically on oversized
+    batches; stale or unattachable segments degrade that one batch to a
+    slot-routed pipe payload; the parent owns every segment and unlinks
+    them when a channel is reaped and at ``shutdown``, so neither a
+    worker crash nor a clean exit leaves ``/dev/shm`` entries behind.
+    ``transport="pipe"`` (or ``REPRO_SERVE_TRANSPORT=pipe``) keeps the
+    PR 5 pickle codec byte-for-byte.
 
     The executor satisfies the engine's two-method contract (``submit``
     -> future, ``shutdown``): submitted callables run on a local
     dispatcher-thread pool (they carry the engine's locking / cache /
     handle bookkeeping, which must stay in the parent), and the engine
-    routes the pure compute through :meth:`run_batch`, which ships the
-    payload to a free worker and blocks for its reply.
+    routes the pure compute through :meth:`run_batch`.
 
     A worker that dies mid-batch (OOM kill, segfault, ``os._exit``)
     surfaces as :class:`~repro.serve.worker.WorkerCrashed` from its
-    batch; the channel is retired, the pool shrinks, and the engine's
-    normal requeue-and-retry contract lands the batch on a surviving
-    worker.  A pool with no survivors raises on every acquire — loudly,
-    with the crash as the cause.
+    batch; the channel is retired (arena unlinked), the pool shrinks,
+    and the engine's normal requeue-and-retry contract lands the batch
+    on a surviving worker.  A pool with no survivors raises on every
+    acquire — loudly, with the crash as the cause.
 
     ``start_method`` defaults to ``"spawn"``: workers must *materialize*
     the spec (the point of spec replication), not inherit the parent's
@@ -152,22 +223,32 @@ class ProcessExecutor:
     """
 
     name = "process"
+    #: The engine may pass run_batch a list of per-request images
+    #: instead of a pre-stacked array (both transports handle either).
+    accepts_image_list = True
 
     def __init__(self, spec: EngineSpec, workers: int = 2,
                  start_method: str = "spawn",
-                 startup_timeout_s: float = 180.0):
+                 startup_timeout_s: float = 180.0,
+                 transport: str = "auto", slots_per_worker: int = 2,
+                 initial_arena_bytes: int = 1 << 16):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if slots_per_worker < 1:
+            raise ValueError("slots_per_worker must be >= 1")
         if not isinstance(spec, EngineSpec):
             raise TypeError(f"spec must be an EngineSpec, got {type(spec)}")
         self.spec = spec
         self.workers = workers
+        self.transport = resolve_transport(transport)
+        self._slots = slots_per_worker if self.transport == "shm" else 1
+        self._stats = TransportStats(self.transport)
         self._mp = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._all: List[_WorkerChannel] = []
-        self._idle: List[_WorkerChannel] = []
         self._live = 0
+        self._quiesce = 0
         self._closed = False
         try:
             for _ in range(workers):
@@ -177,7 +258,8 @@ class ProcessExecutor:
                     daemon=True, name="explain-process-worker")
                 process.start()
                 child_conn.close()
-                self._all.append(_WorkerChannel(process, parent_conn))
+                self._all.append(_WorkerChannel(process, parent_conn,
+                                                slots=self._slots))
             # Eager handshake: every worker reports "ready" once its
             # spec materialized (models built/loaded), so a broken spec
             # fails the constructor with the remote traceback instead of
@@ -201,13 +283,25 @@ class ProcessExecutor:
                     raise WorkerCrashed(
                         "worker failed to materialize its EngineSpec:\n"
                         + str(message[1]))
+            if self.transport == "shm":
+                seq = next(_ARENA_SEQ)
+                for i, channel in enumerate(self._all):
+                    channel.arena = ShmArena(
+                        f"rtx{os.getpid():x}-{seq}w{i}",
+                        slots=self._slots,
+                        initial_bytes=initial_arena_bytes,
+                        stats=self._stats)
         except BaseException:
             self._terminate_all()
             raise
-        self._idle = list(self._all)
         self._live = len(self._all)
+        # One dispatcher thread per slot, not per worker: with double
+        # buffering, the thread encoding batch N+1 into a worker's free
+        # slot is a *different* thread than the one blocked on batch N's
+        # reply, so overlap needs the headroom.
         self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="process-dispatch")
+            max_workers=workers * self._slots,
+            thread_name_prefix="process-dispatch")
 
     # -- channel pool ---------------------------------------------------
     @property
@@ -222,9 +316,15 @@ class ProcessExecutor:
         gathering them waits for idleness, which would silently turn a
         mid-flight stats probe into a drain."""
         with self._lock:
-            return len(self._idle) == self._live
+            return all(channel.inflight == 0 for channel in self._all)
 
-    def _acquire(self) -> _WorkerChannel:
+    def _acquire(self) -> Tuple[_WorkerChannel, Optional[object]]:
+        """Claim a (channel, slot) pair for one batch.  Prefers the
+        least-loaded live channel, so an idle worker always wins over
+        double-buffering a busy one; a second batch lands on a busy
+        channel (counted as an overlapped send) only when every worker
+        is already computing.  Pipe-transport channels have one slot,
+        which degenerates to PR 5's exclusive acquire."""
         with self._cond:
             while True:
                 if self._closed:
@@ -232,62 +332,231 @@ class ProcessExecutor:
                 if self._live == 0:
                     raise WorkerCrashed(
                         "process pool has no live workers left")
-                if self._idle:
-                    return self._idle.pop()
+                if self._quiesce == 0:
+                    best = None
+                    for channel in self._all:
+                        if channel.dead or channel.inflight >= channel.slots:
+                            continue
+                        if best is None or channel.inflight < best.inflight:
+                            best = channel
+                    if best is not None:
+                        slot = (best.arena.acquire()
+                                if best.arena is not None else None)
+                        self._stats.count_send(best.inflight > 0)
+                        best.inflight += 1
+                        return best, slot
                 self._cond.wait(timeout=0.1)
 
-    def _release(self, channel: _WorkerChannel) -> None:
+    def _release(self, channel: _WorkerChannel, slot) -> None:
         with self._cond:
-            if channel.dead:
-                self._live -= 1
-                self._reap(channel)
-            else:
-                self._idle.append(channel)
+            if slot is not None and channel.arena is not None:
+                channel.arena.release(slot)
+            channel.inflight -= 1
+            self._maybe_reap(channel)
             self._cond.notify_all()
 
-    @staticmethod
-    def _reap(channel: _WorkerChannel) -> None:
-        try:
-            channel.conn.close()
-        except OSError:
-            pass
-        channel.process.join(timeout=1.0)
-        if channel.process.is_alive():
-            channel.process.terminate()
-            channel.process.join(timeout=1.0)
+    def _mark_dead(self, channel: _WorkerChannel,
+                   cause: Optional[BaseException] = None) -> None:
+        """Retire a channel exactly once (concurrent observers of the
+        same death both call this; only the first decrements)."""
+        with self._cond:
+            if not channel.dead:
+                channel.dead = True
+                self._live -= 1
+            self._maybe_reap(channel)
+            self._cond.notify_all()
+        with channel.rcond:
+            if channel.crash is None:
+                channel.crash = cause or EOFError("worker channel died")
+            channel.rcond.notify_all()
 
-    # -- the remote-compute channel the engine duck-types for ----------
-    def run_batch(self, method: str, images: np.ndarray,
-                  labels: np.ndarray, targets: Optional[np.ndarray],
-                  keys: Optional[list] = None) -> Tuple[list, float]:
-        """Run one micro-batch on a free worker; returns ``(results,
-        batch_ms)`` with ``batch_ms`` measured inside the worker (pure
-        compute — pipe and queueing time never bill as cost).  ``keys``
-        (per-request cache keys) ride along when the pool has a
-        saliency store attached, letting the worker serve store hits
-        without compute.  A batch that raised remotely raises
-        :class:`WorkerBatchError` carrying the remote traceback; a
-        worker that died mid-batch raises :class:`WorkerCrashed` and
-        retires its channel."""
-        channel = self._acquire()
-        try:
+    def _maybe_reap(self, channel: _WorkerChannel) -> None:
+        """Under ``self._cond``: tear the channel down once it is dead
+        *and* no batch still holds it (a sibling dispatcher may be
+        mid-crash on the other slot)."""
+        if channel.dead and not channel.reaped and channel.inflight == 0:
+            channel.reaped = True
             try:
-                channel.conn.send(encode_batch(method, images, labels,
-                                               targets, keys=keys))
+                channel.conn.close()
+            except OSError:
+                pass
+            channel.process.join(timeout=1.0)
+            if channel.process.is_alive():
+                channel.process.terminate()
+                channel.process.join(timeout=1.0)
+            if channel.arena is not None:
+                channel.arena.close()       # parent-owned unlink
+
+    # -- reply routing ---------------------------------------------------
+    def _send(self, channel: _WorkerChannel, message) -> None:
+        try:
+            with channel.send_lock:
+                channel.conn.send(message)
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._mark_dead(channel, exc)
+            raise WorkerCrashed(
+                f"worker pid={channel.process.pid} died mid-batch "
+                f"(exitcode={channel.process.exitcode})") from exc
+
+    def _wait_reply(self, channel: _WorkerChannel, slot_index: int):
+        """Wait for this slot's reply on a channel that may have two
+        batches in flight.  Exactly one waiter at a time is the
+        *receiver*: it recvs the next reply (outside the lock), files it
+        under the slot id at reply index 1, and wakes everyone; waiters
+        whose reply arrived pop it and return.  A recv failure latches
+        ``channel.crash`` so every in-flight batch on the channel raises
+        :class:`WorkerCrashed`, not just the receiving thread."""
+        while True:
+            with channel.rcond:
+                if slot_index in channel.replies:
+                    return channel.replies.pop(slot_index)
+                if channel.crash is not None:
+                    raise WorkerCrashed(
+                        f"worker pid={channel.process.pid} died mid-batch "
+                        f"(exitcode={channel.process.exitcode})"
+                    ) from channel.crash
+                if channel.receiving:
+                    channel.rcond.wait(timeout=0.1)
+                    continue
+                channel.receiving = True
+            try:
                 reply = channel.conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
-                channel.dead = True
+                with channel.rcond:
+                    channel.receiving = False
+                self._mark_dead(channel, exc)
                 raise WorkerCrashed(
                     f"worker pid={channel.process.pid} died mid-batch "
-                    f"(method={method!r}, exitcode="
-                    f"{channel.process.exitcode})") from exc
+                    f"(exitcode={channel.process.exitcode})") from exc
+            with channel.rcond:
+                channel.receiving = False
+                channel.replies[reply[1]] = reply
+                channel.rcond.notify_all()
+
+    # -- the remote-compute channel the engine duck-types for ----------
+    def run_batch(self, method: str, images, labels: np.ndarray,
+                  targets: Optional[np.ndarray],
+                  keys: Optional[list] = None) -> Tuple[list, float]:
+        """Run one micro-batch on a pool slot; returns ``(results,
+        batch_ms)`` with ``batch_ms`` measured inside the worker (pure
+        compute — pipe and queueing time never bill as cost).
+        ``images`` is a stacked float32 array or a uniform-shape list of
+        per-request images (the shm path writes either form straight
+        into the arena; the pipe path stacks inside ``encode_batch``
+        exactly as PR 5 did).  ``keys`` (per-request cache keys) ride
+        along when the pool has a saliency store attached.  A batch that
+        raised remotely raises :class:`WorkerBatchError` carrying the
+        remote traceback; a worker that died mid-batch raises
+        :class:`WorkerCrashed` and retires its channel."""
+        channel, slot = self._acquire()
+        try:
+            if slot is not None:
+                return self._run_batch_shm(channel, slot, method, images,
+                                           labels, targets, keys)
+            return self._run_batch_pipe(channel, method, images, labels,
+                                        targets, keys)
         finally:
-            self._release(channel)
+            self._release(channel, slot)
+
+    def _run_batch_pipe(self, channel: _WorkerChannel, method: str,
+                        images, labels, targets, keys) -> Tuple[list, float]:
+        message = encode_batch(method, images, labels, targets, keys=keys)
+        try:
+            with channel.send_lock:
+                channel.conn.send(message)
+            reply = channel.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._mark_dead(channel, exc)
+            raise WorkerCrashed(
+                f"worker pid={channel.process.pid} died mid-batch "
+                f"(method={method!r}, exitcode="
+                f"{channel.process.exitcode})") from exc
         if reply[0] == "error":
-            _, err_method, exc_type, message, remote_tb = reply
-            raise WorkerBatchError(err_method, exc_type, message, remote_tb)
+            _, err_method, exc_type, text, remote_tb = reply
+            raise WorkerBatchError(err_method, exc_type, text, remote_tb)
         _, payload, batch_ms = reply
+        saliency = payload[0]
+        ret_bytes = (saliency.nbytes if isinstance(saliency, np.ndarray)
+                     else sum(m.nbytes for m in saliency))
+        self._stats.count_pipe(message[2].nbytes + ret_bytes)
         return decode_results(payload), float(batch_ms)
+
+    def _run_batch_shm(self, channel: _WorkerChannel, slot, method: str,
+                       images, labels, targets, keys) -> Tuple[list, float]:
+        labels = np.asarray(labels, dtype=np.int64)
+        if targets is not None:
+            targets = np.asarray(targets, dtype=np.int64)
+        pipe_out_bytes = 0
+        out_desc, ret_desc = channel.arena.encode(slot, images)
+        self._send(channel, ("shm_batch", slot.index, method, out_desc,
+                             ret_desc, labels, targets, keys))
+        reply = self._wait_reply(channel, slot.index)
+        if reply[0] == "shm_stale":
+            # The worker could not attach the segment (external
+            # /dev/shm cleanup, generation race after a grow):
+            # resend this one batch as a slot-routed pipe payload.
+            self._stats.count_fallback("stale")
+            stacked = (images if isinstance(images, np.ndarray)
+                       else np.stack(images))
+            stacked = np.ascontiguousarray(stacked, dtype=np.float32)
+            pipe_out_bytes = stacked.nbytes
+            self._send(channel, ("batch_slot", slot.index, method,
+                                 stacked, labels, targets, keys))
+            reply = self._wait_reply(channel, slot.index)
+        if reply[0] == "error_slot":
+            _, _slot, err_method, exc_type, text, remote_tb = reply
+            raise WorkerBatchError(err_method, exc_type, text, remote_tb)
+        if reply[0] == "ok_pipe":
+            # Fallback leg: stale resend, or a reply stack that outgrew
+            # the return segment (the byte need grows it for next time).
+            _, _slot, payload, batch_ms, ret_need = reply
+            if ret_need:
+                self._stats.count_fallback("oversize")
+                channel.arena.note_ret_need(slot, ret_need)
+            saliency = payload[0]
+            ret_bytes = (saliency.nbytes if isinstance(saliency, np.ndarray)
+                         else sum(m.nbytes for m in saliency))
+            self._stats.count_pipe(pipe_out_bytes + ret_bytes)
+            return decode_results(payload), float(batch_ms)
+        _, _slot, ret_shape, ret_dtype, out_labels, out_targets, metas, \
+            batch_ms = reply
+        view = channel.arena.ret_view(slot, ret_shape, ret_dtype)
+        try:
+            results = decode_shm_results(view, out_labels, out_targets,
+                                         metas)
+        finally:
+            del view                        # release the segment buffer
+        self._stats.count_shm_ret(
+            int(np.prod(ret_shape, dtype=np.int64)) * 4, len(results))
+        return results, float(batch_ms)
+
+    def transport_stats(self) -> dict:
+        """Snapshot of the transport counters (see
+        :meth:`repro.serve.transport.TransportStats.snapshot`), plus the
+        live arena footprint in bytes."""
+        with self._lock:
+            arena_bytes = sum(channel.arena.live_bytes()
+                              for channel in self._all
+                              if channel.arena is not None
+                              and not channel.reaped)
+        return self._stats.snapshot(arena_bytes=arena_bytes)
+
+    # -- pool-wide control messages (quiesced, one round-trip) ----------
+    def _begin_quiesce(self) -> List[_WorkerChannel]:
+        """Block new acquires and wait out in-flight batches; returns
+        the live channels.  Must be paired with :meth:`_end_quiesce`."""
+        with self._cond:
+            self._quiesce += 1
+            while any(channel.inflight > 0 for channel in self._all):
+                if self._closed or self._live == 0:
+                    break
+                self._cond.wait(timeout=0.1)
+            return [channel for channel in self._all if not channel.dead]
+
+    def _end_quiesce(self) -> None:
+        with self._cond:
+            self._quiesce -= 1
+            self._cond.notify_all()
 
     def attach_store(self, directory: str, snapshot: list) -> int:
         """Attach a read-only saliency store to every live worker: each
@@ -297,52 +566,59 @@ class ProcessExecutor:
         touching the journal — the single-writer parent remains the
         only process that mutates the directory.  Returns the number of
         workers that attached; waits for the pool to go idle first
-        (call it before load, or after a drain)."""
-        with self._cond:
-            while len(self._idle) < self._live:
-                if self._live == 0 or self._closed:
-                    break
-                self._cond.wait(timeout=0.1)
-            channels, self._idle = list(self._idle), []
+        (call it before load, or after a drain).  All sends are issued
+        before any reply is collected, so an N-worker pool attaches in
+        one round-trip, not N."""
+        channels = self._begin_quiesce()
         attached = 0
         try:
+            pending = []
             for channel in channels:
                 try:
-                    channel.conn.send(("store", directory, snapshot))
+                    with channel.send_lock:
+                        channel.conn.send(("store", directory, snapshot))
+                    pending.append(channel)
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._mark_dead(channel, exc)
+            for channel in pending:
+                try:
                     reply = channel.conn.recv()
-                except (EOFError, OSError, BrokenPipeError):
-                    channel.dead = True
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._mark_dead(channel, exc)
                     continue
                 if reply[0] == "store_ok":
                     attached += 1
         finally:
-            for channel in channels:
-                self._release(channel)
+            self._end_quiesce()
         return attached
 
     def worker_stats(self) -> List[dict]:
         """Per-worker ``{pid, batches, maps}`` counters (the dedup
         benchmark sums ``maps`` to verify exactly-once compute across
         processes).  Waits for all live workers to go idle first — call
-        it after ``drain()``, not under load."""
-        with self._cond:
-            while len(self._idle) < self._live:
-                if self._live == 0 or self._closed:
-                    break
-                self._cond.wait(timeout=0.1)
-            channels, self._idle = list(self._idle), []
+        it after ``drain()``, not under load.  Like
+        :meth:`attach_store`, the probe fans out all sends first and
+        then collects replies: one round-trip for the whole pool."""
+        channels = self._begin_quiesce()
         stats = []
         try:
+            pending = []
             for channel in channels:
                 try:
-                    channel.conn.send(("stats",))
+                    with channel.send_lock:
+                        channel.conn.send(("stats",))
+                    pending.append(channel)
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._mark_dead(channel, exc)
+            for channel in pending:
+                try:
                     reply = channel.conn.recv()
-                    stats.append(reply[1])
-                except (EOFError, OSError, BrokenPipeError):
-                    channel.dead = True
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._mark_dead(channel, exc)
+                    continue
+                stats.append(reply[1])
         finally:
-            for channel in channels:
-                self._release(channel)
+            self._end_quiesce()
         return stats
 
     # -- executor contract ---------------------------------------------
@@ -350,11 +626,14 @@ class ProcessExecutor:
         return self._pool.submit(fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop dispatchers and workers; idempotent, leaves no orphans.
+        """Stop dispatchers and workers; idempotent, leaves no orphans
+        and no shared-memory segments.
 
         Live workers get a ``stop`` message and a bounded ``join``;
         anything still alive after that (wedged mid-batch on
-        ``wait=False``) is terminated.  Every pipe is closed."""
+        ``wait=False``) is terminated.  Every pipe is closed and every
+        arena segment unlinked — the parent is the sole owner, so after
+        this returns ``/dev/shm`` holds nothing of ours."""
         with self._cond:
             if self._closed:
                 return
@@ -363,14 +642,14 @@ class ProcessExecutor:
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
         self._terminate_all()
         with self._cond:
-            self._idle = []
             self._live = 0
 
     def _terminate_all(self) -> None:
         for channel in self._all:
             try:
                 if not channel.dead and channel.process.is_alive():
-                    channel.conn.send(("stop",))
+                    with channel.send_lock:
+                        channel.conn.send(("stop",))
             except (OSError, BrokenPipeError):
                 pass
         for channel in self._all:
@@ -385,6 +664,8 @@ class ProcessExecutor:
                 channel.conn.close()
             except OSError:
                 pass
+            if channel.arena is not None:
+                channel.arena.close()       # idempotent parent-side unlink
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -395,7 +676,8 @@ class ProcessExecutor:
 
     def __repr__(self) -> str:
         return (f"ProcessExecutor(workers={self.workers}, "
-                f"alive={self.alive_workers})")
+                f"alive={self.alive_workers}, "
+                f"transport={self.transport!r})")
 
 
 def make_executor(executor: Union[None, str, SerialExecutor,
@@ -405,16 +687,17 @@ def make_executor(executor: Union[None, str, SerialExecutor,
     """Resolve the engine's ``executor`` argument.
 
     ``None``/``"serial"`` -> a :class:`SerialExecutor`; ``"threaded"``
-    -> a :class:`ThreadedExecutor`; ``"process"`` -> a
-    :class:`ProcessExecutor` (requires ``spec`` — the worker-side model
-    recipe; :meth:`repro.eval.pipeline.ExperimentContext.engine` derives
-    one automatically).  An object is passed through (it just needs
+    -> a :class:`ThreadedExecutor` (``workers=None`` sizes from the
+    visible core count); ``"process"`` -> a :class:`ProcessExecutor`
+    (requires ``spec`` — the worker-side model recipe;
+    :meth:`repro.eval.pipeline.ExperimentContext.engine` derives one
+    automatically).  An object is passed through (it just needs
     ``submit``/``shutdown``/``name``).
     """
     if executor is None or executor == "serial":
         return SerialExecutor()
     if executor == "threaded":
-        return ThreadedExecutor(workers=workers or 4)
+        return ThreadedExecutor(workers=workers)
     if executor == "process":
         if spec is None:
             raise ValueError(

@@ -1,0 +1,498 @@
+"""Zero-copy shared-memory transport for the process pool.
+
+PR 5's payload codec pickles the full float32 image stack out to each
+worker and the full saliency stack back through ``multiprocessing.Pipe``
+— every batch pays four bulk copies (pickle out, unpickle in, pickle
+back, unpickle back) plus the intermediate ``np.stack``s on both sides,
+so payload cost grows linearly with batch bytes exactly where multi-core
+scaling should pay off.  This module replaces the *payload* path with
+per-worker **double-buffered shared-memory arenas** while the pipe keeps
+carrying only small control headers (method, shapes, dtypes, slot id,
+arena generation, labels):
+
+* :class:`ShmArena` — the parent-side owner of one worker's slots.
+  Each of the (default two) slots holds an *out* segment (the request's
+  image stack, written in place by the dispatcher) and a *ret* segment
+  (the reply's saliency stack, written in place by the worker).  Two
+  slots let the dispatcher encode batch N+1 while the worker still
+  computes batch N — the encode/compute overlap PR 5's blocking
+  ``recv`` serialized away.  Segments grow geometrically when a batch
+  outgrows them (the old segment is unlinked immediately: a slot is
+  only grown while it is free, so no in-flight batch can be using it).
+* :class:`ArenaClient` — the worker-side attachment cache.  Segment
+  names embed the slot and an **arena generation**, so a header naming
+  a new generation retires the stale mapping; a header whose segment
+  cannot be attached at all (external ``/dev/shm`` cleanup, platform
+  quirk) reports stale and the batch falls back to the PR 5 pipe codec.
+* :class:`TransportStats` — counters for ``stats()["transport"]``:
+  bytes moved per path, copies avoided, arena bytes, fallbacks, and
+  overlap occupancy.
+
+**Resource hygiene**: the parent owns every segment and is the only
+process that ever unlinks one.  Parent-side creation stays registered
+with ``multiprocessing.resource_tracker`` so a crashed parent still
+gets its segments unlinked at tracker shutdown; worker-side attachments
+are *un*registered (or opened with ``track=False`` on 3.13+) so a
+worker exit can never unlink — or double-free — a segment the parent
+still serves from.  ``ProcessExecutor`` unlinks a channel's arena when
+the channel is reaped (worker crash) and on ``shutdown()``; either
+side dying therefore leaves zero ``/dev/shm`` segments behind, which
+the transport test suite asserts by listing the directory.
+
+Platforms without :mod:`multiprocessing.shared_memory` — or a
+``REPRO_SERVE_TRANSPORT=pipe`` environment override — keep the PR 5
+pipe codec byte-for-byte; the ``RemoteExecutor`` direction in the
+ROADMAP reuses the same header-plus-payload split with TCP framing
+swapped in for the arenas.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+try:                                       # pragma: no cover - import gate
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:                        # pragma: no cover - rare platform
+    _shared_memory = None
+
+__all__ = ["TRANSPORTS", "ENV_TRANSPORT", "have_shared_memory",
+           "resolve_transport", "ShmArena", "ArenaSlot", "ArenaClient",
+           "TransportStats", "attach_segment", "segment_base"]
+
+TRANSPORTS = ("auto", "shm", "pipe")
+ENV_TRANSPORT = "REPRO_SERVE_TRANSPORT"
+
+#: Segments are sized in whole pages; growth at least doubles so a
+#: ramping workload allocates O(log) segments, not one per batch.
+_PAGE = 4096
+
+
+def have_shared_memory() -> bool:
+    """True when :mod:`multiprocessing.shared_memory` is importable."""
+    return _shared_memory is not None
+
+
+def resolve_transport(requested: str = "auto") -> str:
+    """Resolve a transport request to ``"shm"`` or ``"pipe"``.
+
+    An explicit ``"shm"``/``"pipe"`` wins (tests pin their transport
+    regardless of the environment); ``"auto"`` consults the
+    ``REPRO_SERVE_TRANSPORT`` environment knob and finally falls back
+    to shared memory whenever the platform provides it.
+    """
+    if requested not in TRANSPORTS:
+        raise ValueError(f"unknown transport {requested!r}; "
+                         f"use one of {TRANSPORTS}")
+    if requested == "auto":
+        env = os.environ.get(ENV_TRANSPORT, "").strip().lower()
+        if env:
+            if env not in ("shm", "pipe"):
+                raise ValueError(
+                    f"{ENV_TRANSPORT}={env!r} is not a transport; "
+                    "use 'shm' or 'pipe'")
+            requested = env
+        else:
+            requested = "shm" if have_shared_memory() else "pipe"
+    if requested == "shm" and not have_shared_memory():
+        raise RuntimeError(
+            "shared-memory transport requested but multiprocessing."
+            "shared_memory is unavailable on this platform")
+    return requested
+
+
+def _round_up(nbytes: int) -> int:
+    return max(_PAGE, (int(nbytes) + _PAGE - 1) // _PAGE * _PAGE)
+
+
+def segment_base(name: str) -> str:
+    """The generation-independent identity of a segment name.
+
+    Names look like ``rtx<pid>w<worker>s<slot>o-g<gen>``; everything
+    before the ``-g`` identifies (executor, worker, slot, direction),
+    so a worker's attachment cache can retire the previous generation
+    the moment a header names a newer one.
+    """
+    base, _, _ = name.rpartition("-g")
+    return base or name
+
+
+def attach_segment(name: str):
+    """Worker-side attach that adds no tracker obligation of its own:
+    only the parent owns (and unlinks) segments.  Python 3.13+ exposes
+    ``track=False`` for exactly this.  Older interpreters register every
+    attach with the resource tracker — but multiprocessing children
+    inherit the *parent's* tracker, where that registration is a
+    duplicate entry in the same set (idempotent) and the parent's
+    ``unlink`` clears it; explicitly unregistering here would instead
+    strip the parent's own registration out of the shared tracker and
+    break its crash-cleanup guarantee."""
+    if _shared_memory is None:             # pragma: no cover - gated earlier
+        raise RuntimeError("shared_memory unavailable")
+    try:
+        return _shared_memory.SharedMemory(name=name, create=False,
+                                           track=False)
+    except TypeError:                      # Python < 3.13: shared tracker
+        return _shared_memory.SharedMemory(name=name, create=False)
+
+
+class _Segment:
+    """One parent-owned shared-memory segment (create + unlink side)."""
+
+    __slots__ = ("name", "size", "shm")
+
+    def __init__(self, name: str, size: int):
+        size = _round_up(size)
+        try:
+            shm = _shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        except FileExistsError:
+            # A leftover from a previous process that recycled our pid:
+            # it is ours by name, so reclaim it.
+            _shared_memory.SharedMemory(name=name).unlink()
+            shm = _shared_memory.SharedMemory(name=name, create=True,
+                                              size=size)
+        self.name = name
+        self.size = size
+        self.shm = shm
+
+    def view(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        return np.ndarray(shape, dtype=dtype, buffer=self.shm.buf)
+
+    def destroy(self) -> None:
+        """Close the mapping and unlink the backing file.  A close that
+        fails because an exported view still exists (BufferError) only
+        skips the munmap — the *unlink* below is what guarantees no
+        ``/dev/shm`` entry outlives the arena, and the stray mapping
+        dies with the process."""
+        try:
+            self.shm.close()
+        except BufferError:                # view still exported somewhere
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:          # already gone (double close ok)
+            pass
+
+
+class ArenaSlot:
+    """One double-buffer slot: an out segment (request payload) and a
+    ret segment (reply payload), both lazily allocated and geometrically
+    grown by the parent."""
+
+    __slots__ = ("index", "generation", "in_use", "out", "ret",
+                 "ret_need")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.generation = 0
+        self.in_use = False
+        self.out: Optional[_Segment] = None
+        self.ret: Optional[_Segment] = None
+        #: Byte hint from an oversized reply (the worker fell back to
+        #: the pipe and told us how much it needed); honoured at the
+        #: next encode, while the slot is provably free.
+        self.ret_need = 0
+
+
+class ShmArena:
+    """Parent-side arena for one worker channel (see module doc).
+
+    Externally synchronized for slot accounting: ``acquire``/``release``
+    are called under the executor's pool lock.  ``encode``/``ret_view``
+    touch only the caller's acquired slot, so they run lock-free in the
+    dispatcher thread that owns the batch.
+    """
+
+    def __init__(self, prefix: str, slots: int = 2,
+                 initial_bytes: int = 1 << 16,
+                 stats: Optional["TransportStats"] = None):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.prefix = prefix
+        self.initial_bytes = int(initial_bytes)
+        self.slots = [ArenaSlot(i) for i in range(slots)]
+        self.stats = stats if stats is not None else TransportStats("shm")
+        self._closed = False
+
+    # -- slot accounting (under the executor pool lock) -----------------
+    def acquire(self) -> Optional[ArenaSlot]:
+        for slot in self.slots:
+            if not slot.in_use:
+                slot.in_use = True
+                return slot
+        return None
+
+    def release(self, slot: ArenaSlot) -> None:
+        slot.in_use = False
+
+    def free_slots(self) -> int:
+        return sum(1 for slot in self.slots if not slot.in_use)
+
+    # -- payload encode/decode (slot owned by the calling thread) -------
+    def _segment_name(self, slot: ArenaSlot, direction: str) -> str:
+        return f"{self.prefix}s{slot.index}{direction}-g{slot.generation}"
+
+    def _ensure(self, slot: ArenaSlot, direction: str,
+                nbytes: int) -> _Segment:
+        current = slot.out if direction == "o" else slot.ret
+        if current is not None and current.size >= nbytes:
+            return current
+        # Growth bumps the generation *before* naming the new segment so
+        # the worker's attachment cache retires the old mapping on the
+        # next header; the old segment is unlinked right here — the slot
+        # is free (growth happens at encode time, never mid-flight), so
+        # nothing can still be reading it.
+        size = (max(nbytes, self.initial_bytes) if current is None
+                else max(nbytes, current.size * 2))
+        slot.generation += 1
+        segment = _Segment(self._segment_name(slot, direction), size)
+        if current is not None:
+            self.stats.count_grow()
+            current.destroy()
+        if direction == "o":
+            slot.out = segment
+        else:
+            slot.ret = segment
+        return segment
+
+    def encode(self, slot: ArenaSlot,
+               images: Union[np.ndarray, Sequence[np.ndarray]],
+               ) -> Tuple[Tuple, Tuple]:
+        """Write the batch's image payload directly into the slot's out
+        segment — no pickle, and no intermediate ``np.stack`` copy when
+        the per-request images are already contiguous float32 (each is
+        copied exactly once, straight into the arena).  Returns
+        ``(out_desc, ret_desc)`` for the header:
+        ``out_desc = (segment_name, segment_size, batch_shape, dtype)``,
+        ``ret_desc = (segment_name, segment_size)``.
+        """
+        if isinstance(images, np.ndarray):
+            batch_shape = images.shape
+        else:
+            batch_shape = (len(images),) + tuple(np.shape(images[0]))
+        count = int(np.prod(batch_shape, dtype=np.int64))
+        nbytes = count * 4                 # float32 payload
+        out = self._ensure(slot, "o", nbytes)
+        view = out.view(batch_shape, np.float32)
+        if isinstance(images, np.ndarray):
+            np.copyto(view, images, casting="unsafe")
+        else:
+            for i, image in enumerate(images):
+                np.copyto(view[i], image, casting="unsafe")
+        del view
+        # The reply's saliency stack is one (H, W) float32 map per image
+        # — never larger than the (C, H, W) inputs — so sizing ret like
+        # out covers every registered method; a method that replies
+        # bigger (oversize meta payloads ride the pipe anyway) falls
+        # back once and leaves a byte hint honoured here next time.
+        ret = self._ensure(slot, "r", max(nbytes, slot.ret_need))
+        slot.ret_need = 0
+        self.stats.count_shm_out(nbytes, batch_shape[0])
+        return ((out.name, out.size, tuple(batch_shape), "float32"),
+                (ret.name, ret.size))
+
+    def ret_view(self, slot: ArenaSlot, shape: Tuple[int, ...],
+                 dtype: str) -> np.ndarray:
+        """The worker-written reply stack; valid until the slot is
+        released — callers copy each map out before that."""
+        assert slot.ret is not None
+        return slot.ret.view(tuple(shape), np.dtype(dtype))
+
+    def note_ret_need(self, slot: ArenaSlot, nbytes: int) -> None:
+        slot.ret_need = max(slot.ret_need, int(nbytes))
+
+    # -- accounting / lifecycle -----------------------------------------
+    def live_bytes(self) -> int:
+        total = 0
+        for slot in self.slots:
+            for segment in (slot.out, slot.ret):
+                if segment is not None:
+                    total += segment.size
+        return total
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).  Parent-owned: this is
+        the single place arena segments are ever removed, called when
+        the channel is reaped or the executor shuts down."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self.slots:
+            for segment in (slot.out, slot.ret):
+                if segment is not None:
+                    segment.destroy()
+            slot.out = slot.ret = None
+
+
+class ArenaClient:
+    """Worker-side attachment cache, keyed on the generation-free
+    segment base so a grown segment (new generation in the name)
+    retires exactly its predecessor's mapping."""
+
+    def __init__(self):
+        #: base -> (name, SharedMemory)
+        self._attached: Dict[str, Tuple[str, object]] = {}
+        #: Mappings whose close() hit BufferError (a view the explainer
+        #: stashed somewhere still exports the buffer); retried on the
+        #: next retirement and finally dropped at process exit.
+        self._retired: List[object] = []
+
+    def _segment(self, name: str):
+        base = segment_base(name)
+        cached = self._attached.get(base)
+        if cached is not None:
+            if cached[0] == name:
+                return cached[1]
+            self._close_mapping(cached[1])
+        shm = attach_segment(name)
+        self._attached[base] = (name, shm)
+        return shm
+
+    def _close_mapping(self, shm) -> None:
+        for stale in list(self._retired):
+            try:
+                stale.close()
+                self._retired.remove(stale)
+            except BufferError:
+                pass
+        try:
+            shm.close()
+        except BufferError:
+            self._retired.append(shm)
+
+    def view(self, out_desc: Tuple) -> Optional[np.ndarray]:
+        """Read-only ndarray over the header's out segment, or ``None``
+        when the segment cannot be attached (stale header: the caller
+        reports it and the batch falls back to the pipe codec)."""
+        name, _size, shape, dtype = out_desc
+        try:
+            shm = self._segment(name)
+        except (FileNotFoundError, OSError, ValueError):
+            return None
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                          buffer=shm.buf)
+        view.flags.writeable = False
+        return view
+
+    def write_ret(self, ret_desc: Tuple, maps: List[np.ndarray]
+                  ) -> Optional[Tuple[Tuple[int, ...], str]]:
+        """Write the stacked saliency maps into the reply segment —
+        the shm replacement for ``encode_results``'s ``np.stack`` +
+        pickle.  Returns ``(shape, dtype)`` for the reply header, or
+        ``None`` when the stack does not fit (or shapes are mixed /
+        the segment is unattachable): the caller falls back to the
+        pipe payload, carrying the needed byte count as a growth hint.
+        """
+        if not maps:
+            return None
+        first = maps[0].shape
+        if any(m.shape != first for m in maps[1:]):
+            return None
+        shape = (len(maps),) + tuple(first)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * 4
+        name, size = ret_desc
+        if nbytes > size:
+            return None
+        try:
+            shm = self._segment(name)
+        except (FileNotFoundError, OSError, ValueError):
+            return None
+        view = np.ndarray(shape, dtype=np.float32, buffer=shm.buf)
+        for i, saliency in enumerate(maps):
+            np.copyto(view[i], saliency, casting="unsafe")
+        del view
+        return shape, "float32"
+
+    def close(self) -> None:
+        for _base, (_name, shm) in list(self._attached.items()):
+            self._close_mapping(shm)
+        self._attached.clear()
+
+
+class TransportStats:
+    """Thread-safe transport counters behind ``stats()["transport"]``.
+
+    Dispatcher threads on one executor update these concurrently, so
+    mutation goes through the internal lock; ``snapshot()`` returns a
+    plain dict (with derived rates) for the engine's stats call.
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self._lock = threading.Lock()
+        self.sends = 0
+        self.overlapped_sends = 0
+        self.shm_batches = 0
+        self.pipe_batches = 0
+        self.shm_bytes_out = 0
+        self.shm_bytes_ret = 0
+        self.pipe_payload_bytes = 0
+        self.copies_avoided = 0
+        self.fallbacks_stale = 0
+        self.fallbacks_oversize = 0
+        self.grows = 0
+
+    def count_send(self, overlapped: bool) -> None:
+        with self._lock:
+            self.sends += 1
+            if overlapped:
+                self.overlapped_sends += 1
+
+    def count_shm_out(self, nbytes: int, n_images: int) -> None:
+        with self._lock:
+            self.shm_bytes_out += nbytes
+            # Each image skipped the intermediate stack copy and the
+            # pickle/unpickle pair it cost on the pipe.
+            self.copies_avoided += n_images
+
+    def count_shm_ret(self, nbytes: int, n_maps: int) -> None:
+        with self._lock:
+            self.shm_bytes_ret += nbytes
+            self.shm_batches += 1
+            # Each map skipped encode_results's np.stack plus the
+            # pickle/unpickle pair.
+            self.copies_avoided += n_maps
+
+    def count_pipe(self, payload_bytes: int) -> None:
+        with self._lock:
+            self.pipe_batches += 1
+            self.pipe_payload_bytes += payload_bytes
+
+    def count_fallback(self, kind: str) -> None:
+        with self._lock:
+            if kind == "stale":
+                self.fallbacks_stale += 1
+            else:
+                self.fallbacks_oversize += 1
+
+    def count_grow(self) -> None:
+        with self._lock:
+            self.grows += 1
+
+    def snapshot(self, arena_bytes: int = 0) -> Dict[str, object]:
+        with self._lock:
+            sends = self.sends
+            return {
+                "mode": self.mode,
+                "sends": sends,
+                "shm_batches": self.shm_batches,
+                "pipe_batches": self.pipe_batches,
+                "shm_bytes_out": self.shm_bytes_out,
+                "shm_bytes_ret": self.shm_bytes_ret,
+                "shm_bytes_moved": self.shm_bytes_out + self.shm_bytes_ret,
+                "pipe_payload_bytes": self.pipe_payload_bytes,
+                "copies_avoided": self.copies_avoided,
+                "fallbacks": (self.fallbacks_stale
+                              + self.fallbacks_oversize),
+                "fallbacks_stale": self.fallbacks_stale,
+                "fallbacks_oversize": self.fallbacks_oversize,
+                "arena_grows": self.grows,
+                "arena_bytes": arena_bytes,
+                "overlapped_sends": self.overlapped_sends,
+                "overlap_occupancy": (round(self.overlapped_sends / sends,
+                                            4) if sends else 0.0),
+            }

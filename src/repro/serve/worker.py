@@ -25,6 +25,20 @@ Three pieces live here, all deliberately free of any engine state:
   ``nn.no_grad()`` in the worker, exactly as the in-process engine
   would run them.
 
+Under the shared-memory transport (see :mod:`repro.serve.transport`)
+the pipe carries only headers: a ``("shm_batch", slot, method,
+out_desc, ret_desc, labels, targets, keys)`` message names the arena
+segment holding the image stack, the worker computes from a zero-copy
+view and writes the stacked saliency into the return segment, replying
+``("ok_shm", slot, ...)`` with just shapes and metadata.  A header
+whose segment cannot be attached (stale generation after external
+cleanup) is answered ``("shm_stale", slot)`` and the parent resends the
+batch as a slot-routed pipe payload (``"batch_slot"`` →
+``"ok_pipe"``); a reply stack that outgrows the return segment also
+falls back to ``"ok_pipe"``, carrying the byte count the parent uses as
+a growth hint.  The PR 5 ``"batch"`` / ``"ok"`` framing is untouched —
+pipe-transport executors speak it byte-for-byte.
+
 :func:`demo_spec` builds a small untrained-classifier spec used by the
 serving benchmark, the process-executor tests, and the docs; its
 registry includes the failure-injection methods ``boom`` (raises inside
@@ -46,7 +60,7 @@ import numpy as np
 __all__ = ["EngineSpec", "WorkerCrashed", "WorkerBatchError",
            "worker_main", "demo_spec",
            "encode_batch", "decode_batch",
-           "encode_results", "decode_results"]
+           "encode_results", "decode_results", "decode_shm_results"]
 
 
 class WorkerCrashed(RuntimeError):
@@ -164,7 +178,75 @@ def decode_results(payload: Tuple) -> List:
             for i in range(len(labels))]
 
 
+def decode_shm_results(view: np.ndarray, labels: List, targets: List,
+                       metas: List) -> List:
+    """Rebuild :class:`SaliencyResult`\\ s from a worker-written return
+    segment: the shm counterpart of :func:`decode_results`.  Each map is
+    copied out of the arena view (the slot is recycled for the next
+    batch the moment the caller releases it, so results must own their
+    memory)."""
+    from ..explain.base import SaliencyResult
+    return [SaliencyResult(np.array(view[i]), labels[i],
+                           target_label=targets[i], meta=metas[i])
+            for i in range(len(labels))]
+
+
 # ----------------------------------------------------------------------
+def _serve_batch(explainers: Dict, plan_cache, store, method: str,
+                 images: np.ndarray, labels: np.ndarray,
+                 targets: Optional[np.ndarray],
+                 keys: Optional[List[Tuple]]) -> Tuple[List, float, int, int]:
+    """The compute core shared by every batch framing (legacy pipe,
+    slot-routed pipe, shm header): probe the worker-side store, run the
+    plan cache over the misses, and reassemble results in request
+    order.  Returns ``(results, batch_ms, n_computed, n_served)``."""
+    explainer = explainers[method]
+    served: Dict[int, object] = {}
+    if store is not None and keys is not None:
+        for i, key in enumerate(keys):
+            if key is None:
+                continue
+            try:
+                found = store.get(tuple(key))
+            except Exception:              # noqa: BLE001
+                # A store problem (e.g. a snapshot entry whose segment
+                # the writer compacted away) must degrade to compute,
+                # never fail the whole batch.
+                found = None
+            if found is not None:
+                served[i] = found
+    compute = [i for i in range(len(images)) if i not in served]
+    batch_ms = 0.0
+    computed_results: List = []
+    if compute:
+        if len(compute) == len(images):
+            # The whole batch computes (the overwhelmingly common
+            # case): skip the fancy-index copy and read straight from
+            # the payload — under shm that is the arena view itself.
+            sub_images, sub_labels = images, labels
+            sub_targets = targets
+        else:
+            sub_images = images[compute]
+            sub_labels = labels[compute]
+            sub_targets = None if targets is None else targets[compute]
+        start = time.perf_counter()
+        # Plan replay when this replica has compiled the key; the
+        # cache falls back to the tape (applying the
+        # needs_gradients/no_grad contract) otherwise.
+        computed_results = plan_cache.run(explainer, sub_images,
+                                          sub_labels, sub_targets)
+        batch_ms = (time.perf_counter() - start) * 1000.0
+    results = [None] * len(images)
+    for i, computed in zip(compute, computed_results):
+        results[i] = computed
+    for i, (hit, cost) in served.items():
+        hit.meta = dict(hit.meta or {})
+        hit.meta["store_hit"] = True
+        hit.meta["store_cost_ms"] = cost
+        results[i] = hit
+    return results, batch_ms, len(compute), len(served)
+
+
 def worker_main(conn, spec: EngineSpec) -> None:
     """Worker-process entry point: materialize the spec once, then
     serve ``batch`` / ``stats`` / ``stop`` messages until the parent
@@ -199,6 +281,7 @@ def worker_main(conn, spec: EngineSpec) -> None:
     conn.send(("ready", os.getpid()))
     plan_cache = PlanCache()
     store = None
+    arena_client = None
     batches = maps = store_hits = store_misses = 0
     try:
         while True:
@@ -229,61 +312,97 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     store = None
                     conn.send(("store_error", traceback.format_exc()))
                 continue
+            if kind == "shm_batch":
+                # Header-only framing: the payload lives in the arena.
+                _, slot, method, out_desc, ret_desc, labels, targets, \
+                    keys = message
+                if arena_client is None:
+                    from .transport import ArenaClient
+                    arena_client = ArenaClient()
+                images = arena_client.view(out_desc)
+                if images is None:         # stale segment: parent resends
+                    conn.send(("shm_stale", slot))
+                    continue
+                try:
+                    results, batch_ms, n_computed, n_served = _serve_batch(
+                        explainers, plan_cache, store, method, images,
+                        labels, targets, keys)
+                except BaseException as exc:  # noqa: BLE001 — ship it back
+                    conn.send(("error_slot", slot, method,
+                               type(exc).__name__, str(exc),
+                               traceback.format_exc()))
+                    continue
+                finally:
+                    del images             # release the arena view
+                if store is not None and keys is not None:
+                    store_hits += n_served
+                    store_misses += n_computed
+                batches += 1
+                maps += n_computed
+                maps_out = [np.asarray(r.saliency, dtype=np.float32)
+                            for r in results]
+                written = arena_client.write_ret(ret_desc, maps_out)
+                if written is None:
+                    # Reply outgrew the return segment (or shapes are
+                    # mixed): ship the pickle once, with the byte count
+                    # the parent turns into a growth hint.
+                    first = maps_out[0].shape if maps_out else ()
+                    uniform = all(m.shape == first for m in maps_out)
+                    need = (len(maps_out)
+                            * int(np.prod(first, dtype=np.int64)) * 4
+                            if uniform and maps_out else 0)
+                    conn.send(("ok_pipe", slot, encode_results(results),
+                               batch_ms, need))
+                    continue
+                ret_shape, ret_dtype = written
+                conn.send(("ok_shm", slot, ret_shape, ret_dtype,
+                           [int(r.label) for r in results],
+                           [r.target_label for r in results],
+                           [r.meta for r in results], batch_ms))
+                continue
+            if kind == "batch_slot":
+                # Pipe payload with slot routing: the fallback leg of
+                # the shm transport (stale header resend).
+                _, slot, method, images, labels, targets, keys = message
+                try:
+                    results, batch_ms, n_computed, n_served = _serve_batch(
+                        explainers, plan_cache, store, method, images,
+                        labels, targets, keys)
+                except BaseException as exc:  # noqa: BLE001 — ship it back
+                    conn.send(("error_slot", slot, method,
+                               type(exc).__name__, str(exc),
+                               traceback.format_exc()))
+                    continue
+                if store is not None and keys is not None:
+                    store_hits += n_served
+                    store_misses += n_computed
+                batches += 1
+                maps += n_computed
+                conn.send(("ok_pipe", slot, encode_results(results),
+                           batch_ms, 0))
+                continue
+            # PR 5 pipe framing, byte-for-byte.
             method, images, labels, targets, keys = decode_batch(message)
             try:
-                explainer = explainers[method]
-                served: Dict[int, object] = {}
-                if store is not None and keys is not None:
-                    for i, key in enumerate(keys):
-                        if key is None:
-                            continue
-                        try:
-                            found = store.get(tuple(key))
-                        except Exception:  # noqa: BLE001
-                            # A store problem (e.g. a snapshot entry
-                            # whose segment the writer compacted away)
-                            # must degrade to compute, never fail the
-                            # whole batch.
-                            found = None
-                        if found is not None:
-                            served[i] = found
-                compute = [i for i in range(len(images))
-                           if i not in served]
-                if store is not None and keys is not None:
-                    store_hits += len(served)
-                    store_misses += len(compute)
-                batch_ms = 0.0
-                computed_results: List = []
-                if compute:
-                    sub_targets = (None if targets is None
-                                   else targets[compute])
-                    start = time.perf_counter()
-                    # Plan replay when this replica has compiled the
-                    # key; the cache falls back to the tape (applying
-                    # the needs_gradients/no_grad contract) otherwise.
-                    computed_results = plan_cache.run(
-                        explainer, images[compute], labels[compute],
-                        sub_targets)
-                    batch_ms = (time.perf_counter() - start) * 1000.0
-                results = [None] * len(images)
-                for i, computed in zip(compute, computed_results):
-                    results[i] = computed
-                for i, (hit, cost) in served.items():
-                    hit.meta = dict(hit.meta or {})
-                    hit.meta["store_hit"] = True
-                    hit.meta["store_cost_ms"] = cost
-                    results[i] = hit
+                results, batch_ms, n_computed, n_served = _serve_batch(
+                    explainers, plan_cache, store, method, images,
+                    labels, targets, keys)
             except BaseException as exc:   # noqa: BLE001 — ship it back
                 conn.send(("error", method, type(exc).__name__, str(exc),
                            traceback.format_exc()))
             else:
+                if store is not None and keys is not None:
+                    store_hits += n_served
+                    store_misses += n_computed
                 batches += 1
-                maps += len(compute)       # store hits did no compute
+                maps += n_computed         # store hits did no compute
                 conn.send(("ok", encode_results(results), batch_ms))
     finally:
         plan_cache.close()
         if store is not None:
             store.close()
+        if arena_client is not None:
+            arena_client.close()
         conn.close()
 
 
@@ -309,6 +428,26 @@ class _ExitExplainer:
 
     def explain_batch(self, images, labels, targets=None):
         os._exit(13)
+
+
+class _EchoExplainer:
+    """Payload-dominated method for transport benchmarking: the
+    "saliency" is the channel mean of the input, so compute is a single
+    vectorized pass and per-request cost is dominated by moving the
+    image stack — exactly the regime where transport overhead shows.
+    The output depends on the input, so parity checks across transports
+    are real, not vacuous."""
+
+    name = "echo"
+    needs_gradients = False
+    plan_eligible = False
+
+    def explain_batch(self, images, labels, targets=None):
+        from ..explain.base import SaliencyResult
+        images = np.asarray(images, dtype=np.float32)
+        stacked = images.mean(axis=1)
+        return [SaliencyResult(np.array(stacked[i]), int(labels[i]))
+                for i in range(len(images))]
 
 
 def _demo_explainers(methods: Tuple[str, ...] = ("gradcam", "occlusion"),
@@ -347,6 +486,7 @@ def _demo_explainers(methods: Tuple[str, ...] = ("gradcam", "occlusion"),
         "boom": _BoomExplainer,
         "exit": _ExitExplainer,
         "slow": _SlowExplainer,
+        "echo": _EchoExplainer,
     }
     unknown = [m for m in methods if m not in registry]
     if unknown:

@@ -263,6 +263,29 @@ class TestExecutors:
         with pytest.raises(ValueError):
             make_executor("hyperdrive")
 
+    def test_threaded_default_workers_derive_from_cpu_count(self):
+        # Not a hardcoded constant: the default pool sizes to the
+        # visible cores, clamped to [1, 8].
+        from repro.serve import default_worker_count
+        import os as _os
+        expected = max(1, min(_os.cpu_count() or 1, 8))
+        assert default_worker_count() == expected
+        executor = ThreadedExecutor()
+        try:
+            assert executor.workers == expected
+        finally:
+            executor.shutdown()
+        via_factory = make_executor("threaded")
+        try:
+            assert via_factory.workers == expected
+        finally:
+            via_factory.shutdown()
+        explicit = ThreadedExecutor(workers=3)
+        try:
+            assert explicit.workers == 3
+        finally:
+            explicit.shutdown()
+
     def test_shutdown_nowait_cancels_queued_futures(self):
         # Regression: shutdown(wait=False) is the fatal-error path —
         # queued-but-unstarted work must be *cancelled*, not left as

@@ -1,0 +1,419 @@
+"""Shared-memory transport suite: pipe-vs-shm parity across every
+Table II method, arena growth and generation retirement, stale/oversize
+fallbacks to the pipe codec, worker-crash recovery, and — the resource
+contract — zero leaked ``/dev/shm`` segments after shutdown *or* crash.
+"""
+
+import glob
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.explain import (CAEExplainer, FullGradExplainer, GradCAMExplainer,
+                           ICAMExplainer, LAGANExplainer, LimeExplainer,
+                           OcclusionExplainer, SimpleFullGradExplainer,
+                           SmoothFullGradExplainer, StylexExplainer,
+                           TABLE2_METHODS, TSCAMExplainer, train_icam,
+                           train_lagan, train_stylex, train_tscam)
+from repro.serve import (EngineSpec, ExplainEngine, ProcessExecutor,
+                         WorkerCrashed, demo_spec, have_shared_memory,
+                         resolve_transport)
+from repro.serve.transport import (ENV_TRANSPORT, ShmArena, segment_base)
+from repro.serve.worker import decode_results, worker_main
+
+from test_explain_batch import assert_saliency_close
+
+pytestmark = pytest.mark.skipif(
+    not have_shared_memory(), reason="multiprocessing.shared_memory missing")
+
+_HAVE_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def _segments(prefix: str):
+    """Live ``/dev/shm`` entries belonging to one arena prefix."""
+    return glob.glob(f"/dev/shm/{prefix}*")
+
+
+def _arena_prefixes(executor: ProcessExecutor):
+    return [channel.arena.prefix for channel in executor._all
+            if channel.arena is not None]
+
+
+def _assert_no_leaks(prefixes) -> None:
+    if not _HAVE_DEV_SHM:
+        return
+    for prefix in prefixes:
+        assert not _segments(prefix), \
+            f"leaked shared-memory segments: {_segments(prefix)}"
+
+
+def _images(n: int, side: int = 16, channels: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((n, channels, side, side)) \
+        .astype(np.float32)
+
+
+class TestResolveTransport:
+    def test_explicit_choice_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRANSPORT, "pipe")
+        assert resolve_transport("shm") == "shm"
+        assert resolve_transport("pipe") == "pipe"
+
+    def test_auto_honours_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRANSPORT, "pipe")
+        assert resolve_transport("auto") == "pipe"
+        monkeypatch.setenv(ENV_TRANSPORT, "shm")
+        assert resolve_transport("auto") == "shm"
+
+    def test_auto_defaults_to_shm_when_available(self, monkeypatch):
+        monkeypatch.delenv(ENV_TRANSPORT, raising=False)
+        assert resolve_transport("auto") == "shm"
+
+    def test_unknown_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("tcp")
+        monkeypatch.setenv(ENV_TRANSPORT, "smoke-signals")
+        with pytest.raises(ValueError, match=ENV_TRANSPORT):
+            resolve_transport("auto")
+
+    def test_segment_base_strips_generation(self):
+        assert segment_base("rtxab-0w1s0o-g17") == "rtxab-0w1s0o"
+        assert segment_base("rtxab-0w1s0o-g18") == "rtxab-0w1s0o"
+
+
+class TestArenaGrowth:
+    def test_grows_geometrically_and_retires_old_segments(self):
+        arena = ShmArena("rtxtest-growth", slots=2, initial_bytes=4096)
+        try:
+            slot = arena.acquire()
+            for side in (8, 16, 32, 64):
+                arena.encode(slot, _images(4, side=side))
+            snap = arena.stats.snapshot()
+            assert snap["arena_grows"] >= 2
+            if _HAVE_DEV_SHM:
+                # Old generations are unlinked at grow time: at most one
+                # out + one ret segment per slot ever live, and only one
+                # slot was touched.
+                assert len(_segments("rtxtest-growth")) == 2
+        finally:
+            arena.close()
+        _assert_no_leaks(["rtxtest-growth"])
+        arena.close()                      # idempotent
+
+    def test_ret_need_hint_grows_return_segment(self):
+        arena = ShmArena("rtxtest-hint", slots=1, initial_bytes=4096)
+        try:
+            slot = arena.acquire()
+            arena.encode(slot, _images(2, side=8))
+            before = slot.ret.size
+            arena.release(slot)
+            slot = arena.acquire()
+            arena.note_ret_need(slot, before * 8)
+            _, (_, ret_size) = arena.encode(slot, _images(2, side=8))
+            assert ret_size >= before * 8
+        finally:
+            arena.close()
+        _assert_no_leaks(["rtxtest-hint"])
+
+
+@pytest.fixture(scope="module")
+def table2_pools(tiny_train_set, tiny_classifier, tiny_cae, tiny_manifold,
+                 tiny_config):
+    """One single-worker pool per transport, both materializing the
+    *same* prebuilt Table II explainer suite (trained once here,
+    shipped pickled through the spec), so any divergence between the
+    pools is the transport's fault and nothing else's."""
+    models = {
+        "tscam": train_tscam(tiny_train_set, epochs=1, dim=8),
+        "stylex": train_stylex(tiny_train_set, tiny_classifier, epochs=1),
+        "lagan": train_lagan(tiny_train_set, tiny_classifier, epochs=1),
+        "icam": train_icam(tiny_train_set, iterations=3, batch_size=2,
+                           config=tiny_config),
+    }
+    icam_manifold = models["icam"].build_manifold(tiny_train_set)
+    explainers = {
+        "lime": LimeExplainer(tiny_classifier, grid=4, n_samples=20,
+                              seed=0),
+        "occlusion": OcclusionExplainer(tiny_classifier, window=4,
+                                        stride=4),
+        "gradcam": GradCAMExplainer(tiny_classifier),
+        "fullgrad": FullGradExplainer(tiny_classifier),
+        "simple_fullgrad": SimpleFullGradExplainer(tiny_classifier),
+        "smooth_fullgrad": SmoothFullGradExplainer(tiny_classifier,
+                                                   n_samples=2, seed=3),
+        "tscam": TSCAMExplainer(models["tscam"]),
+        "stylex": StylexExplainer(models["stylex"], tiny_classifier,
+                                  steps=3),
+        "lagan": LAGANExplainer(models["lagan"], tiny_classifier),
+        "icam": ICAMExplainer(models["icam"], icam_manifold,
+                              tiny_train_set.num_classes),
+        "cae": CAEExplainer(tiny_cae, tiny_manifold, tiny_classifier,
+                            steps=4),
+    }
+    spec = EngineSpec("transport_spec_util:prebuilt",
+                      kwargs=dict(explainers=explainers))
+    shm = ProcessExecutor(spec, workers=1, transport="shm")
+    pipe = ProcessExecutor(spec, workers=1, transport="pipe")
+    yield shm, pipe
+    prefixes = _arena_prefixes(shm)
+    shm.shutdown()
+    pipe.shutdown()
+    _assert_no_leaks(prefixes)
+
+
+@pytest.fixture(scope="module")
+def parity_batch(tiny_train_set):
+    idx = np.concatenate([tiny_train_set.indices_of_class(1)[:2],
+                          tiny_train_set.indices_of_class(0)[:1]])
+    return (tiny_train_set.images[idx].astype(np.float32),
+            tiny_train_set.labels[idx].astype(np.int64))
+
+
+class TestPipeShmParity:
+    @pytest.mark.parametrize("name", TABLE2_METHODS + ("occlusion",))
+    def test_parity(self, table2_pools, parity_batch, name):
+        shm, pipe = table2_pools
+        images, labels = parity_batch
+        via_shm, _ = shm.run_batch(name, images, labels, None)
+        via_pipe, _ = pipe.run_batch(name, images, labels, None)
+        assert len(via_shm) == len(via_pipe) == len(images)
+        for a, b in zip(via_shm, via_pipe):
+            assert a.label == b.label
+            assert a.target_label == b.target_label
+            assert_saliency_close(a.saliency, b.saliency)
+
+    def test_parity_with_targets(self, table2_pools, parity_batch):
+        shm, pipe = table2_pools
+        images, labels = parity_batch
+        targets = np.where(labels == 0, 1, 0).astype(np.int64)
+        via_shm, _ = shm.run_batch("gradcam", images, labels, targets)
+        via_pipe, _ = pipe.run_batch("gradcam", images, labels, targets)
+        for a, b in zip(via_shm, via_pipe):
+            assert a.target_label == b.target_label
+            assert_saliency_close(a.saliency, b.saliency)
+
+    def test_pipe_pool_has_no_arenas(self, table2_pools):
+        _, pipe = table2_pools
+        assert pipe.transport == "pipe"
+        assert all(channel.arena is None for channel in pipe._all)
+        stats = pipe.transport_stats()
+        assert stats["mode"] == "pipe"
+        assert stats["shm_batches"] == 0
+        assert stats["pipe_payload_bytes"] > 0
+        assert stats["arena_bytes"] == 0
+
+    def test_shm_pool_moved_no_pipe_payload(self, table2_pools):
+        shm, _ = table2_pools
+        assert shm.transport == "shm"
+        stats = shm.transport_stats()
+        assert stats["mode"] == "shm"
+        assert stats["shm_batches"] > 0
+        assert stats["shm_bytes_moved"] > 0
+        assert stats["copies_avoided"] > 0
+        # Every payload crossed through the arenas: nothing fell back.
+        assert stats["pipe_payload_bytes"] == 0
+        assert stats["fallbacks"] == 0
+
+
+@pytest.fixture(scope="module")
+def demo_pools():
+    """Two shared 2-worker demo pools (one per transport) for the
+    engine-level tests.  Engines built on them must not be closed —
+    the fixture owns the shutdown and the leak assertion."""
+    spec = demo_spec(("gradcam", "occlusion", "echo", "slow"),
+                     slow_ms=50.0)
+    classifier, explainers = spec.materialize()
+    shm = ProcessExecutor(spec, workers=2, transport="shm")
+    pipe = ProcessExecutor(spec, workers=2, transport="pipe")
+    yield classifier, explainers, shm, pipe
+    prefixes = _arena_prefixes(shm)
+    shm.shutdown()
+    pipe.shutdown()
+    _assert_no_leaks(prefixes)
+    assert all(not c.process.is_alive()
+               for ex in (shm, pipe) for c in ex._all)
+
+
+class TestEngineTransport:
+    def test_engine_parity_and_stats_sections(self, demo_pools):
+        classifier, explainers, shm, pipe = demo_pools
+        images = _images(6)
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        results = {}
+        for executor in (shm, pipe):
+            engine = ExplainEngine(classifier, explainers, max_batch=4,
+                                   executor=executor)
+            results[executor.transport] = engine.explain_batch(
+                images, labels, "gradcam")
+            transport = engine.stats()["transport"]
+            assert transport["mode"] == executor.transport
+        for a, b in zip(results["shm"], results["pipe"]):
+            assert a.label == b.label
+            assert_saliency_close(a.saliency, b.saliency)
+
+    def test_echo_payload_roundtrip_is_exact(self, demo_pools):
+        # The echo method is pure payload: byte-exact round-trip through
+        # the arenas (float32 in, float32 mean out — no method noise).
+        _, _, shm, _ = demo_pools
+        images = _images(5, side=24)
+        labels = np.zeros(5, dtype=np.int64)
+        results, _ = shm.run_batch("echo", list(images), labels, None)
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result.saliency,
+                                          images[i].mean(axis=0))
+
+    def test_transport_env_knob_reaches_executor(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRANSPORT, "pipe")
+        executor = ProcessExecutor(demo_spec(("gradcam",)), workers=1)
+        try:
+            assert executor.transport == "pipe"
+            assert all(c.arena is None for c in executor._all)
+        finally:
+            executor.shutdown()
+
+    def test_double_buffering_overlaps_sends(self):
+        # One worker, two slots: two concurrent batches of the sleeper
+        # must double-buffer onto the same channel (the second send
+        # lands while the first still computes).
+        executor = ProcessExecutor(demo_spec(("slow",), slow_ms=100.0),
+                                   workers=1, transport="shm")
+        prefixes = _arena_prefixes(executor)
+        try:
+            images = _images(2)
+            labels = np.zeros(2, dtype=np.int64)
+            outcomes = []
+
+            def run():
+                outcomes.append(executor.run_batch("slow", images, labels,
+                                                   None))
+
+            threads = [threading.Thread(target=run) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(outcomes) == 2
+            stats = executor.transport_stats()
+            assert stats["sends"] == 2
+            assert stats["overlapped_sends"] >= 1
+            assert stats["overlap_occupancy"] > 0
+        finally:
+            executor.shutdown()
+        _assert_no_leaks(prefixes)
+
+
+class TestCrashHygiene:
+    def test_crash_mid_batch_retries_on_survivor_and_unlinks(self):
+        spec = demo_spec(("exit", "gradcam"))
+        classifier, explainers = spec.materialize()
+        executor = ProcessExecutor(spec, workers=2, transport="shm")
+        prefixes = _arena_prefixes(executor)
+        engine = ExplainEngine(classifier, explainers, max_batch=1,
+                               executor=executor)
+        try:
+            engine.submit_async(_images(1)[0], 0, "exit")
+            with pytest.raises(WorkerCrashed):
+                engine.drain()             # survivor remains: not Overloaded
+            assert executor.alive_workers == 1
+            # The dead channel was reaped: its arena segments are gone
+            # while the survivor's stay live.
+            if _HAVE_DEV_SHM:
+                dead = [c for c in executor._all if c.dead]
+                assert len(dead) == 1 and dead[0].reaped
+                assert not _segments(dead[0].arena.prefix)
+            # The engine's requeue-and-retry lands new work on the
+            # surviving worker, still over shared memory.
+            result = engine.explain(_images(1)[0], 1, "gradcam")
+            assert result.label == 1
+            assert executor.transport_stats()["shm_batches"] >= 1
+        finally:
+            executor.shutdown()
+        _assert_no_leaks(prefixes)
+        assert all(not c.process.is_alive() for c in executor._all)
+
+    def test_shutdown_unlinks_every_segment(self):
+        executor = ProcessExecutor(demo_spec(("echo",)), workers=2,
+                                   transport="shm")
+        prefixes = _arena_prefixes(executor)
+        images = _images(4)
+        labels = np.zeros(4, dtype=np.int64)
+        executor.run_batch("echo", images, labels, None)
+        if _HAVE_DEV_SHM:
+            assert any(_segments(prefix) for prefix in prefixes)
+        executor.shutdown()
+        _assert_no_leaks(prefixes)
+        executor.shutdown()                # idempotent
+
+
+class TestWorkerFallbacks:
+    """Drive ``worker_main`` directly (in a thread, over a local pipe)
+    to pin the fallback legs of the protocol without having to corrupt
+    a live pool's arenas."""
+
+    @pytest.fixture()
+    def worker(self):
+        import multiprocessing
+        parent, child = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=worker_main, args=(child, demo_spec(("echo",))),
+            daemon=True)
+        thread.start()
+        kind, _pid = parent.recv()
+        assert kind == "ready"
+        yield parent
+        try:
+            parent.send(("stop",))
+        except (OSError, BrokenPipeError):
+            pass
+        thread.join(timeout=5)
+
+    def test_stale_header_falls_back_to_slot_routed_pipe(self, worker):
+        images = _images(2, side=8)
+        labels = np.zeros(2, dtype=np.int64)
+        out_desc = ("rtx-no-such-segment-g1", 4096,
+                    tuple(images.shape), "float32")
+        worker.send(("shm_batch", 0, "echo", out_desc,
+                     ("rtx-no-such-ret-g1", 4096), labels, None, None))
+        assert worker.recv() == ("shm_stale", 0)
+        worker.send(("batch_slot", 0, "echo", images, labels, None, None))
+        kind, slot, payload, _batch_ms, need = worker.recv()
+        assert (kind, slot, need) == ("ok_pipe", 0, 0)
+        results = decode_results(payload)
+        np.testing.assert_allclose(results[1].saliency,
+                                   images[1].mean(axis=0), rtol=1e-6)
+
+    def test_oversized_reply_falls_back_with_byte_hint(self, worker):
+        images = _images(2, side=8)
+        labels = np.zeros(2, dtype=np.int64)
+        arena = ShmArena("rtxtest-oversize", slots=1)
+        try:
+            slot = arena.acquire()
+            out_desc, ret_desc = arena.encode(slot, images)
+            # Lie about the return segment's capacity: the worker must
+            # refuse the in-place write and pipe the payload back with
+            # the byte count the parent turns into a growth hint.
+            worker.send(("shm_batch", 0, "echo", out_desc,
+                         (ret_desc[0], 8), labels, None, None))
+            kind, slot_index, payload, _batch_ms, need = worker.recv()
+            assert (kind, slot_index) == ("ok_pipe", 0)
+            assert need == 2 * 8 * 8 * 4
+            results = decode_results(payload)
+            np.testing.assert_allclose(results[0].saliency,
+                                       images[0].mean(axis=0), rtol=1e-6)
+        finally:
+            arena.close()
+        _assert_no_leaks(["rtxtest-oversize"])
+
+    def test_legacy_pipe_framing_unchanged(self, worker):
+        # The PR 5 codec must keep working byte-for-byte: same message
+        # kinds in, same reply shape out.
+        from repro.serve.worker import encode_batch
+        images = _images(3, side=8)
+        labels = np.zeros(3, dtype=np.int64)
+        worker.send(encode_batch("echo", images, labels, None))
+        kind, payload, batch_ms = worker.recv()
+        assert kind == "ok"
+        assert len(decode_results(payload)) == 3
+        assert batch_ms >= 0.0

@@ -1,0 +1,14 @@
+"""Spec-factory helper importable from spawned worker processes.
+
+The transport parity suite trains every Table II explainer **once** in
+the parent and ships the finished objects through ``EngineSpec`` kwargs
+(they pickle); each single-worker pool then materializes bit-identical
+replicas without retraining.  The factory must live in a module the
+spawned interpreter can import by name — a test-class local would not
+resolve — and the tests directory rides into the worker via the
+inherited ``sys.path``.
+"""
+
+
+def prebuilt(explainers):
+    return explainers
