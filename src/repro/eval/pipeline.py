@@ -216,7 +216,8 @@ class ExperimentContext:
                eviction: str = "lru",
                max_pending: Optional[int] = None, policy: str = "block",
                executor=None, workers: Optional[int] = None,
-               store=None):
+               store=None, priority: bool = True,
+               aging_ms: float = 1000.0):
         """The serving-layer :class:`~repro.serve.ExplainEngine` over this
         context's classifier + suite, so repeated sweeps hit the saliency
         cache and share micro-batched model calls.  The engine is cached
@@ -242,11 +243,16 @@ class ExperimentContext:
         the same directory serves yesterday's maps from disk); the
         engine owns it for its lifetime — single-writer rule — so two
         live engines must not share one directory.
+        ``priority``/``aging_ms`` control SLO-aware flush ordering:
+        with ``priority`` on (default) ready queues flush
+        interactive-before-bulk with starvation aging; off restores the
+        legacy insertion-order flush.
         """
         config = (include, max_batch, max_delay_ms, cache_size,
                   cache_shards, executor, min_batch, target_batch_ms,
                   eviction, max_pending, policy, workers,
-                  None if store is None else os.fspath(store))
+                  None if store is None else os.fspath(store),
+                  priority, aging_ms)
         if self._engine is None or self._engine[0] != config:
             from ..serve import ExplainEngine, make_executor
             if self._engine is not None:
@@ -281,7 +287,8 @@ class ExperimentContext:
                 min_batch=min_batch, target_batch_ms=target_batch_ms,
                 cache_size=cache_size, cache_shards=cache_shards,
                 eviction=eviction, max_pending=max_pending, policy=policy,
-                executor=engine_executor, store=store))
+                executor=engine_executor, store=store,
+                priority=priority, aging_ms=aging_ms))
         return self._engine[1]
 
     # ------------------------------------------------------------------

@@ -99,6 +99,8 @@ the digest is stamped on the result's ``image_digest`` field.
 
 from .cache import (EVICTION_POLICIES, CacheKey, SaliencyCache,
                     ShardedSaliencyCache, image_digest, request_key)
+from .context import (PRIORITIES, PRIORITY_RANK, DeadlineExceeded,
+                      RequestContext)
 from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
                      PendingExplain)
 from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
@@ -107,12 +109,14 @@ from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 from .store import SaliencyStore, StoreClosed
 from .transport import (TRANSPORTS, ArenaClient, ShmArena, TransportStats,
-                        have_shared_memory, resolve_transport)
+                        have_shared_memory, pack_ctxs, resolve_transport,
+                        unpack_ctxs)
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
                      demo_spec)
 
 __all__ = [
     "ExplainEngine", "PendingExplain", "EngineOverloaded",
+    "RequestContext", "DeadlineExceeded", "PRIORITIES", "PRIORITY_RANK",
     "ADMISSION_POLICIES", "EVICTION_POLICIES",
     "SaliencyCache", "ShardedSaliencyCache", "CacheKey",
     "image_digest", "request_key",
@@ -122,5 +126,6 @@ __all__ = [
     "SaliencyStore", "StoreClosed",
     "TRANSPORTS", "ShmArena", "ArenaClient", "TransportStats",
     "have_shared_memory", "resolve_transport",
+    "pack_ctxs", "unpack_ctxs",
     "EngineSpec", "WorkerBatchError", "WorkerCrashed", "demo_spec",
 ]

@@ -140,6 +140,9 @@ class SaliencyCache:
         # tier-2 store fills pass computed=False and bill nothing).
         self.hit_cost_ms = 0.0
         self.insert_cost_ms = 0.0
+        # Per-tenant hit counts (requests that passed a tenant id on
+        # the lookup); anonymous lookups count only in the aggregate.
+        self.tenant_hits: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -172,7 +175,8 @@ class SaliencyCache:
         self.evictions += 1
 
     # ------------------------------------------------------------------
-    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
+    def get(self, key: CacheKey,
+            tenant: Optional[str] = None) -> Optional[SaliencyResult]:
         with self._lock:
             result = self._store.get(key)
             if result is None:
@@ -184,6 +188,9 @@ class SaliencyCache:
                 self._reprioritize(key, result)
             self.hits += 1
             self.hit_cost_ms += self._cost.get(key, 0.0)
+            if tenant is not None:
+                self.tenant_hits[tenant] = \
+                    self.tenant_hits.get(tenant, 0) + 1
             return result
 
     def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
@@ -225,6 +232,7 @@ class SaliencyCache:
                 "evictions": self.evictions, "inserts": self.inserts,
                 "hit_cost_ms": self.hit_cost_ms,
                 "insert_cost_ms": self.insert_cost_ms,
+                "tenant_hits": dict(self.tenant_hits),
                 "size": len(self._store), "capacity": self.capacity})
 
 
@@ -271,8 +279,9 @@ class ShardedSaliencyCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._shard(key)
 
-    def get(self, key: CacheKey) -> Optional[SaliencyResult]:
-        return self._shard(key).get(key)
+    def get(self, key: CacheKey,
+            tenant: Optional[str] = None) -> Optional[SaliencyResult]:
+        return self._shard(key).get(key, tenant=tenant)
 
     def peek(self, key: CacheKey) -> Optional[SaliencyResult]:
         return self._shard(key).peek(key)
@@ -308,6 +317,14 @@ class ShardedSaliencyCache:
     def insert_cost_ms(self) -> float:
         return sum(s.insert_cost_ms for s in self.shards)
 
+    def tenant_hits(self) -> Dict[str, int]:
+        """Per-tenant hit counts merged across shards."""
+        merged: Dict[str, int] = {}
+        for shard in self.shards:
+            for tenant, count in shard.tenant_hits.items():
+                merged[tenant] = merged.get(tenant, 0) + count
+        return merged
+
     def shard_sizes(self) -> List[int]:
         return [len(s) for s in self.shards]
 
@@ -319,6 +336,7 @@ class ShardedSaliencyCache:
             "evictions": self.evictions, "inserts": self.inserts,
             "hit_cost_ms": self.hit_cost_ms,
             "insert_cost_ms": self.insert_cost_ms,
+            "tenant_hits": self.tenant_hits(),
             "size": len(self), "capacity": self.capacity,
             "policy": self.policy,
             "shards": len(self.shards),

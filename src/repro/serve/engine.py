@@ -47,6 +47,7 @@ from .. import nn
 from ..explain.base import Explainer, SaliencyResult
 from .cache import (CacheKey, SaliencyCache, ShardedSaliencyCache,
                     image_digest, request_key)
+from .context import DeadlineExceeded, RequestContext
 from .executor import make_executor
 from .plans import PlanCache
 from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
@@ -54,6 +55,7 @@ from .store import SaliencyStore
 from .worker import WorkerCrashed
 
 __all__ = ["EngineOverloaded", "ExplainEngine", "PendingExplain",
+           "DeadlineExceeded", "RequestContext",
            "SaliencyCache", "image_digest", "request_key"]
 
 ADMISSION_POLICIES = ("block", "reject")
@@ -100,23 +102,30 @@ class PendingExplain:
 
     Deduplicated submits share one underlying :class:`ExplainRequest`
     (and therefore one computation) but each hold their own handle.
+    ``ctx`` is the submit's :class:`RequestContext`: stage timestamps
+    land on it as the request moves through the runtime (a cache hit
+    carries ``admitted``/``resolved`` only — it never queued).
     """
 
-    __slots__ = ("engine", "method", "cache_hit", "_result", "_request")
+    __slots__ = ("engine", "method", "cache_hit", "ctx", "_result",
+                 "_error", "_request")
 
     def __init__(self, engine: "ExplainEngine", method: str,
                  cache_hit: bool = False,
                  _result: Optional[SaliencyResult] = None,
-                 _request: Optional[ExplainRequest] = None):
+                 _request: Optional[ExplainRequest] = None,
+                 ctx: Optional[RequestContext] = None):
         self.engine = engine
         self.method = method
         self.cache_hit = cache_hit
+        self.ctx = ctx
         self._result = _result
+        self._error = None
         self._request = _request
 
     @property
     def done(self) -> bool:
-        return self._result is not None
+        return self._result is not None or self._error is not None
 
     def result(self) -> SaliencyResult:
         """The saliency result, waiting on / flushing the runtime.
@@ -124,18 +133,23 @@ class PendingExplain:
         An async-dispatched batch is awaited through its future; a
         still-queued request forces a flush of the owning method.  A
         failing micro-batch propagates its exception (the requests stay
-        queued for a retry); a request that somehow remains unresolved
-        raises instead of returning None.
+        queued for a retry); a request whose deadline passed while it
+        was queued raises :class:`DeadlineExceeded`; a request that
+        somehow remains unresolved raises instead of returning None.
         """
-        while self._result is None:
+        while True:
+            if self._error is not None:
+                raise self._error
+            if self._result is not None:
+                return self._result
             request = self._request
             future = request.future if request is not None else None
             if future is not None:
                 future.result()        # waits; re-raises a batch failure
                 continue               # _result set before future cleared
             self.engine.flush(self.method)
-            if self._result is not None:
-                break
+            if self._result is not None or self._error is not None:
+                continue               # loop top returns or raises
             # Empty flush but still unresolved: another thread's flush
             # holds the request in an in-flight batch (its future was
             # assigned atomically with the queue pop) — loop and wait
@@ -145,7 +159,6 @@ class PendingExplain:
             raise RuntimeError(
                 f"{self.method!r} explain request did not resolve after "
                 "flush")
-        return self._result
 
 
 class ExplainEngine:
@@ -225,6 +238,16 @@ class ExplainEngine:
         additionally gets the directory plus an index snapshot so its
         workers serve store hits read-only.  Reopening the same
         directory later starts the engine *warm* — the whole point.
+    priority:
+        SLO-aware flush ordering (default on): ready queues pop in
+        priority-class order (``interactive`` before ``normal`` before
+        ``bulk``) with starvation aging — a queue's effective rank
+        improves by one class per ``aging_ms`` of queue wait, so a
+        saturating interactive flood can delay bulk work but never
+        starve it.  ``False`` restores insertion-order pops exactly.
+    aging_ms:
+        The starvation bound: extra queue-wait (milliseconds) that
+        promotes a queue by one priority class in the pop order.
     """
 
     def __init__(self, classifier, explainers: Dict[str, Explainer],
@@ -234,7 +257,8 @@ class ExplainEngine:
                  cache_size: int = 256, cache_shards: int = 1,
                  eviction: str = "lru",
                  max_pending: Optional[int] = None, policy: str = "block",
-                 executor=None, plans: bool = True, store=None):
+                 executor=None, plans: bool = True, store=None,
+                 priority: bool = True, aging_ms: float = 1000.0):
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
         if policy not in ADMISSION_POLICIES:
@@ -246,7 +270,8 @@ class ExplainEngine:
                                           policy=eviction)
         self._scheduler = MicroBatchScheduler(
             max_batch, max_delay_ms, min_batch=min_batch,
-            target_batch_ms=target_batch_ms)
+            target_batch_ms=target_batch_ms,
+            priority=priority, aging_ms=aging_ms)
         self._executor = make_executor(executor)
         self._lock = threading.RLock()
         self._inflight: List[Future] = []
@@ -265,6 +290,10 @@ class ExplainEngine:
         self.admission_blocked = 0
         self.admission_blocked_ms = 0.0
         self._closed = False
+        # Batches handed to the executor but not yet completed; kick()
+        # throttles ready dispatch to the executor's idle capacity so
+        # backlog stays in the (priority-ordered) scheduler.
+        self._dispatching = 0
         # Batches of one method never overlap: explainer objects are not
         # audited for internal thread safety, so concurrency comes from
         # running *different* methods (or shape-queues) in parallel.
@@ -292,6 +321,11 @@ class ExplainEngine:
                 self._store_attached_compactions = self._store.compactions
         self.batches_run = 0
         self.requests_served = 0
+        #: Requests resolved as DeadlineExceeded without compute.
+        self.deadline_expired = 0
+        #: tenant -> {"served": n, "deadline_expired": n}.  Cache/store
+        #: hit breakdowns live in their own stats sections.
+        self._tenants: Dict[str, Dict[str, int]] = {}
 
     def _refresh_worker_store(self) -> None:
         """Re-ship the store's index snapshot to process workers when
@@ -406,7 +440,14 @@ class ExplainEngine:
                 "requests_served": self.requests_served,
                 "pending": self._scheduler.pending_count(),
                 "pending_handles": self._scheduler.pending_handles(),
+                "queues": self._scheduler.queue_stats(),
                 "dedup_hits": self._scheduler.dedup_hits,
+                "priority": self._scheduler.priority,
+                "aging_ms": self._scheduler.aging_ms,
+                "priority_promotions": self._scheduler.promotions,
+                "deadline_expired": self.deadline_expired,
+                "tenants": {tenant: dict(counts) for tenant, counts
+                            in sorted(self._tenants.items())},
                 "inflight": inflight,
                 "unresolved": self._unresolved,
                 "max_pending": self.max_pending,
@@ -521,9 +562,15 @@ class ExplainEngine:
                 images = [r.image for r in requests]
             else:
                 images = np.stack([r.image for r in requests])
+            kwargs = {"keys": keys}
+            if getattr(self._executor, "accepts_context", False):
+                # Context-aware executors carry the compact context
+                # fields over the wire and stamp the worker-side
+                # timestamps straight onto these ctx objects.
+                kwargs["ctxs"] = [r.ctx for r in requests]
             try:
                 results, batch_ms = remote(method, images, labels, targets,
-                                           keys=keys)
+                                           **kwargs)
             except WorkerCrashed as exc:
                 if getattr(self._executor, "alive_workers", 1) == 0:
                     raise EngineOverloaded(
@@ -579,6 +626,7 @@ class ExplainEngine:
             for request, result, was_computed in zip(requests, results,
                                                      computed):
                 result.image_digest = request.key[0]
+                request.ctx.stamp("computed")
                 if was_computed:
                     self.cache.put(request.key, result, cost_ms=cost_ms)
                     if self._store is not None:
@@ -588,6 +636,15 @@ class ExplainEngine:
                     self.cache.put(request.key, result,
                                    cost_ms=stored_cost, computed=False)
                 for handle in request.handles:
+                    hctx = handle.ctx
+                    if hctx is not None:
+                        if hctx is not request.ctx:
+                            # Dedup fan-out: the shared request carries
+                            # the pipeline stamps; each handle keeps its
+                            # own admitted/resolved pair.
+                            hctx.absorb(request.ctx)
+                        hctx.stamp("resolved")
+                        self._count_tenant(hctx.tenant, "served")
                     handle._result = result
                 served += len(request.handles)
             self.requests_served += served
@@ -605,7 +662,8 @@ class ExplainEngine:
         return served
 
     def _pop_and_prepare(self, method: Optional[str],
-                         ready_only: bool, track: bool
+                         ready_only: bool, track: bool,
+                         limit: Optional[int] = None
                          ) -> List[Tuple[Future, QueueKey,
                                          List[ExplainRequest]]]:
         """Atomically pop batches and assign their futures.
@@ -615,10 +673,20 @@ class ExplainEngine:
         ``result()`` always observes the request either queued (a flush
         resolves it), carrying a future (waitable), or resolved — never
         in a popped-but-futureless limbo that would raise spuriously.
+        ``limit`` (ready-only pops) caps how many batches leave the
+        scheduler — see :meth:`kick`.
         """
         with self._lock:
-            batches = (self._scheduler.pop_ready(method) if ready_only
-                       else self._scheduler.pop_batches(method))
+            batches, expired = (self._scheduler.pop_ready(method,
+                                                          limit=limit)
+                                if ready_only
+                                else self._scheduler.pop_batches(method))
+            if expired:
+                # Pruned from their queues by the pop pass: resolve as
+                # DeadlineExceeded in the same critical section, so a
+                # concurrent result() observes queued -> errored with no
+                # futureless limbo in between.
+                self._resolve_expired_locked(expired)
             prepared = []
             if track and batches:
                 # Prune settled futures so a long-lived engine whose
@@ -642,6 +710,7 @@ class ExplainEngine:
                 future: Future = Future()
                 for request in requests:
                     request.future = future
+                    request.ctx.stamp("dispatched")
                 if track:
                     # Remember the batch behind the future: if it fails
                     # and a later flush/result() retry resolves the
@@ -662,8 +731,48 @@ class ExplainEngine:
         requests = getattr(future, "engine_requests", None)
         if not requests:
             return False
-        return all(handle._result is not None
+        return all(handle._result is not None or handle._error is not None
                    for request in requests for handle in request.handles)
+
+    def _count_tenant(self, tenant: Optional[str], field: str) -> None:
+        """Bump one per-tenant counter (engine lock held); anonymous
+        requests (no tenant) aggregate only into the global counters."""
+        if tenant is None:
+            return
+        entry = self._tenants.setdefault(
+            tenant, {"served": 0, "deadline_expired": 0})
+        entry[field] += 1
+
+    def _resolve_expired_locked(self,
+                                expired: List[ExplainRequest]) -> None:
+        """Resolve deadline-expired requests (already pruned from their
+        queues) as :class:`DeadlineExceeded` — no executor dispatch, no
+        cache insert, no adaptive-batching observation.  Engine lock
+        held; counted requests release their admission slots here."""
+        freed = 0
+        for request in expired:
+            rctx = request.ctx
+            rctx.stamp("resolved")
+            waited_ms = (rctx.resolved_at
+                         - (rctx.admitted_at or rctx.resolved_at)) * 1000.0
+            error = DeadlineExceeded(
+                f"request {rctx.trace_id} ({rctx.priority}) missed its "
+                f"deadline after {waited_ms:.1f} ms queued", rctx)
+            for handle in request.handles:
+                hctx = handle.ctx
+                if hctx is not None and hctx is not rctx:
+                    hctx.absorb(rctx)
+                    hctx.stamp("resolved")
+                handle._error = error
+                self.deadline_expired += 1
+                self._count_tenant(
+                    hctx.tenant if hctx is not None else None,
+                    "deadline_expired")
+            if request.counted:
+                freed += 1
+        if freed:
+            self._unresolved -= freed
+            self._admission.notify_all()   # slots freed without compute
 
     def _launch(self, future: Future, queue_key: QueueKey,
                 requests: List[ExplainRequest]) -> None:
@@ -678,9 +787,15 @@ class ExplainEngine:
 
         def run() -> None:
             if not future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._dispatching -= 1
                 return
             try:
-                served = self._run_batch(queue_key, requests)
+                try:
+                    served = self._run_batch(queue_key, requests)
+                finally:
+                    with self._lock:
+                        self._dispatching -= 1
             except BaseException as exc:   # noqa: BLE001
                 with self._lock:
                     for request in requests:
@@ -711,6 +826,8 @@ class ExplainEngine:
                         request.future = None
                 future.set_result(served)
 
+        with self._lock:
+            self._dispatching += 1
         self._executor.submit(run)
 
     # ------------------------------------------------------------------
@@ -881,7 +998,9 @@ class ExplainEngine:
     # ------------------------------------------------------------------
     def _submit(self, image: np.ndarray, label: int, method: str,
                 target_label: Optional[int],
-                dispatch_async: bool) -> PendingExplain:
+                dispatch_async: bool, ctx=None) -> PendingExplain:
+        ctx = RequestContext.ensure(ctx)
+        ctx.stamp("admitted")
         self._explainer(method)
         image = np.asarray(image)
         # Digest once per request: the same digest keys the cache probe,
@@ -889,33 +1008,49 @@ class ExplainEngine:
         # the result — the image bytes are never re-hashed.
         digest = image_digest(image)
         key = request_key(image, method, label, target_label, digest=digest)
-        cached = self.cache.get(key)
+        cached = self.cache.get(key, tenant=ctx.tenant)
         if cached is not None:
+            ctx.stamp("resolved")
             with self._lock:
                 self.requests_served += 1
+                self._count_tenant(ctx.tenant, "served")
             return PendingExplain(self, method, cache_hit=True,
-                                  _result=cached)
+                                  _result=cached, ctx=ctx)
         if self._store is not None:
             # Tier 2: a store hit promotes into the memory tier with
             # its *persisted* compute cost (computed=False — nothing
             # was paid now), so GDSF keeps protecting expensive maps
             # across the restart that made this probe necessary.
-            stored = self._store.get(key)
+            stored = self._store.get(key, tenant=ctx.tenant)
             if stored is not None:
                 result, stored_cost = stored
                 self.cache.put(key, result, cost_ms=stored_cost,
                                computed=False)
+                ctx.stamp("resolved")
                 with self._lock:
                     self.requests_served += 1
                     self.store_served += 1
+                    self._count_tenant(ctx.tenant, "served")
                 return PendingExplain(self, method, cache_hit=True,
-                                      _result=result)
+                                      _result=result, ctx=ctx)
+        if ctx.expired():
+            # Dead on arrival: both cache tiers missed and the deadline
+            # already passed — resolve without queueing or compute.
+            ctx.stamp("resolved")
+            handle = PendingExplain(self, method, ctx=ctx)
+            handle._error = DeadlineExceeded(
+                f"request {ctx.trace_id} ({ctx.priority}) deadline "
+                "passed at admission", ctx)
+            with self._lock:
+                self.deadline_expired += 1
+                self._count_tenant(ctx.tenant, "deadline_expired")
+            return handle
 
         # The scheduler copies the image only when it creates a new
         # request, so cache hits and deduped submits stay
         # allocation-free; a caller reusing its buffer never changes
         # what a queued request (or the cache) sees.
-        handle = PendingExplain(self, method)
+        handle = PendingExplain(self, method, ctx=ctx)
         with self._admission:              # the engine lock, waitable
             # Re-probe under the lock: the request's twin may have
             # completed (cache insert + in-flight retirement share this
@@ -924,11 +1059,13 @@ class ExplainEngine:
             cached = self.cache.peek(key)
             if cached is not None:
                 self.requests_served += 1
+                self._count_tenant(ctx.tenant, "served")
+                ctx.stamp("resolved")
                 return PendingExplain(self, method, cache_hit=True,
-                                      _result=cached)
-            queue_key: QueueKey = (method, tuple(image.shape))
+                                      _result=cached, ctx=ctx)
+            family = (method, tuple(image.shape))
             if (dispatch_async and self.max_pending is not None
-                    and self._scheduler.lookup(queue_key, key) is None
+                    and self._scheduler.lookup(family, key) is None
                     and self._unresolved >= self.max_pending):
                 # Admission control gates only *new unique* async work:
                 # dedup attaches and cache hits never add compute, and
@@ -943,10 +1080,25 @@ class ExplainEngine:
                 cached = self.cache.peek(key)  # twin may have finished
                 if cached is not None:
                     self.requests_served += 1
+                    self._count_tenant(ctx.tenant, "served")
+                    ctx.stamp("resolved")
                     return PendingExplain(self, method, cache_hit=True,
-                                          _result=cached)
+                                          _result=cached, ctx=ctx)
+                if ctx.expired():
+                    # The deadline ran out inside the backpressure wait:
+                    # admitting now could never meet it.
+                    ctx.stamp("resolved")
+                    handle._error = DeadlineExceeded(
+                        f"request {ctx.trace_id} ({ctx.priority}) "
+                        "deadline passed while blocked for admission",
+                        ctx)
+                    self.deadline_expired += 1
+                    self._count_tenant(ctx.tenant, "deadline_expired")
+                    return handle
             request, _deduped, ready = self._scheduler.enqueue(
-                method, image, int(label), target_label, key, handle)
+                method, image, int(label), target_label, key, handle,
+                ctx)
+            ctx.stamp("enqueued")
             if not _deduped and dispatch_async:
                 # Only async ingestion occupies the admission budget:
                 # sync submits flush inline and are self-limiting.
@@ -981,19 +1133,26 @@ class ExplainEngine:
         return handle
 
     def submit(self, image: np.ndarray, label: int, method: str,
-               target_label: Optional[int] = None) -> PendingExplain:
+               target_label: Optional[int] = None,
+               ctx=None) -> PendingExplain:
         """Queue one request; returns a handle resolving at flush time.
 
         Cache hits resolve immediately; duplicates of an already-queued
         request attach to it (one computation, fanned-out result).  The
         owning queue auto-flushes **synchronously** when ``max_batch``
         unique requests are pending or the deadline passed.
+
+        ``ctx`` is the request's SLO envelope: a
+        :class:`RequestContext`, a bare priority-class string, or
+        ``None`` for the legacy default (``normal``, no deadline, no
+        tenant).
         """
         return self._submit(image, label, method, target_label,
-                            dispatch_async=False)
+                            dispatch_async=False, ctx=ctx)
 
     def submit_async(self, image: np.ndarray, label: int, method: str,
-                     target_label: Optional[int] = None) -> PendingExplain:
+                     target_label: Optional[int] = None,
+                     ctx=None) -> PendingExplain:
         """Non-blocking submit: a full queue is handed to the executor
         without waiting for it to run.  Resolve via ``handle.result()``
         (waits on the in-flight batch) or a final :meth:`drain`.
@@ -1002,20 +1161,56 @@ class ExplainEngine:
         a submit that would add unique work beyond the bound blocks
         until batches complete (``policy="block"``) or raises
         :class:`EngineOverloaded` (``policy="reject"``).  Cache hits
-        and dedup attaches are always admitted.
+        and dedup attaches are always admitted.  ``ctx`` as in
+        :meth:`submit`; a request whose deadline passes while it is
+        still queued resolves as :class:`DeadlineExceeded` without
+        reaching an executor.
         """
         return self._submit(image, label, method, target_label,
-                            dispatch_async=True)
+                            dispatch_async=True, ctx=ctx)
+
+    def kick(self) -> int:
+        """One non-blocking scheduler sweep: deadline-expired requests
+        resolve as :class:`DeadlineExceeded` and ready queues (batch
+        limit or ``max_delay_ms`` hit) dispatch to the executor
+        asynchronously.  Returns the number of batches launched.
+
+        Dispatch is **throttled to the executor's idle capacity**
+        (``executor.workers`` minus batches currently in flight): work
+        an executor cannot start yet stays in the scheduler, where
+        priority order, starvation aging, and deadline expiry still
+        apply — handing it over early would freeze the order in the
+        executor's FIFO, letting a bulk burst that arrived first block
+        an interactive request for its whole backlog.  ``flush`` and
+        ``drain`` stay unthrottled (they block until resolution, so
+        holding work back buys nothing).
+
+        An open-loop producer (e.g. ``benchmarks/bench_slo.py``) calls
+        this between arrivals so partial queues honour ``max_delay_ms``
+        — and dead requests are swept — without a blocking ``flush``.
+        """
+        if self._closed:
+            return 0
+        capacity = getattr(self._executor, "workers", 1) or 1
+        with self._lock:
+            limit = max(0, capacity - self._dispatching)
+        prepared = self._pop_and_prepare(None, ready_only=True,
+                                         track=True, limit=limit)
+        for future, queue_key, requests in prepared:
+            self._launch(future, queue_key, requests)
+        return len(prepared)
 
     def explain(self, image: np.ndarray, label: int, method: str,
-                target_label: Optional[int] = None) -> SaliencyResult:
+                target_label: Optional[int] = None,
+                ctx=None) -> SaliencyResult:
         """Synchronous single-request path (submit + resolve)."""
-        return self.submit(image, label, method, target_label).result()
+        return self.submit(image, label, method, target_label,
+                           ctx=ctx).result()
 
     def explain_batch(self, images: np.ndarray, labels: np.ndarray,
                       method: str,
-                      target_labels: Optional[np.ndarray] = None
-                      ) -> List[SaliencyResult]:
+                      target_labels: Optional[np.ndarray] = None,
+                      ctx=None) -> List[SaliencyResult]:
         """Cache-aware batched path: only cache misses hit the models,
         and duplicate images inside the batch are computed once (their
         handles share one queued request).
@@ -1034,10 +1229,14 @@ class ExplainEngine:
         """
         submit = (self.submit_async if self.max_pending is not None
                   else self.submit)
+        # One spawn per element: priority/deadline/tenant/trace apply
+        # to the whole sweep, stage stamps stay per-request.
+        template = None if ctx is None else RequestContext.ensure(ctx)
         handles = [
             submit(images[i], int(labels[i]), method,
                    None if target_labels is None
-                   else int(target_labels[i]))
+                   else int(target_labels[i]),
+                   ctx=None if template is None else template.spawn())
             for i in range(len(images))
         ]
         self.flush(method)

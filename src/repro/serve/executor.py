@@ -40,7 +40,8 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .transport import (ShmArena, TransportStats, resolve_transport)
+from .transport import (ShmArena, TransportStats, pack_ctxs,
+                        resolve_transport)
 from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
                      decode_results, decode_shm_results, encode_batch,
                      worker_main)
@@ -226,6 +227,12 @@ class ProcessExecutor:
     #: The engine may pass run_batch a list of per-request images
     #: instead of a pre-stacked array (both transports handle either).
     accepts_image_list = True
+    #: The engine may pass run_batch the per-request RequestContext
+    #: list; the compact fields ride the batch message (both
+    #: transports) and worker-side timestamps come back stamped onto
+    #: the same ctx objects.  Duck-typed executors without this flag
+    #: never see a ctxs kwarg.
+    accepts_context = True
 
     def __init__(self, spec: EngineSpec, workers: int = 2,
                  start_method: str = "spawn",
@@ -436,7 +443,8 @@ class ProcessExecutor:
     # -- the remote-compute channel the engine duck-types for ----------
     def run_batch(self, method: str, images, labels: np.ndarray,
                   targets: Optional[np.ndarray],
-                  keys: Optional[list] = None) -> Tuple[list, float]:
+                  keys: Optional[list] = None,
+                  ctxs: Optional[list] = None) -> Tuple[list, float]:
         """Run one micro-batch on a pool slot; returns ``(results,
         batch_ms)`` with ``batch_ms`` measured inside the worker (pure
         compute — pipe and queueing time never bill as cost).
@@ -444,23 +452,45 @@ class ProcessExecutor:
         per-request images (the shm path writes either form straight
         into the arena; the pipe path stacks inside ``encode_batch``
         exactly as PR 5 did).  ``keys`` (per-request cache keys) ride
-        along when the pool has a saliency store attached.  A batch that
-        raised remotely raises :class:`WorkerBatchError` carrying the
-        remote traceback; a worker that died mid-batch raises
+        along when the pool has a saliency store attached.  ``ctxs``
+        (per-request :class:`~repro.serve.context.RequestContext`) ride
+        both transports in compact packed form; the worker's
+        pid/recv/done stamps come back on the reply and are applied to
+        the same ctx objects before this returns.  A batch that raised
+        remotely raises :class:`WorkerBatchError` carrying the remote
+        traceback; a worker that died mid-batch raises
         :class:`WorkerCrashed` and retires its channel."""
+        wire_ctxs = pack_ctxs(ctxs)
         channel, slot = self._acquire()
         try:
             if slot is not None:
                 return self._run_batch_shm(channel, slot, method, images,
-                                           labels, targets, keys)
+                                           labels, targets, keys,
+                                           ctxs, wire_ctxs)
             return self._run_batch_pipe(channel, method, images, labels,
-                                        targets, keys)
+                                        targets, keys, ctxs, wire_ctxs)
         finally:
             self._release(channel, slot)
 
+    @staticmethod
+    def _apply_wstamps(ctxs, wstamps) -> None:
+        """Stamp a reply's worker-side timestamps onto the batch's live
+        context objects (no-op for context-free traffic)."""
+        if not wstamps or not ctxs:
+            return
+        pid, recv_at, done_at = wstamps
+        for ctx in ctxs:
+            if ctx is None:
+                continue
+            ctx.worker_pid = pid
+            ctx.worker_recv_at = recv_at
+            ctx.worker_done_at = done_at
+
     def _run_batch_pipe(self, channel: _WorkerChannel, method: str,
-                        images, labels, targets, keys) -> Tuple[list, float]:
-        message = encode_batch(method, images, labels, targets, keys=keys)
+                        images, labels, targets, keys,
+                        ctxs=None, wire_ctxs=None) -> Tuple[list, float]:
+        message = encode_batch(method, images, labels, targets, keys=keys,
+                               ctxs=wire_ctxs)
         try:
             with channel.send_lock:
                 channel.conn.send(message)
@@ -474,7 +504,8 @@ class ProcessExecutor:
         if reply[0] == "error":
             _, err_method, exc_type, text, remote_tb = reply
             raise WorkerBatchError(err_method, exc_type, text, remote_tb)
-        _, payload, batch_ms = reply
+        _, payload, batch_ms = reply[:3]
+        self._apply_wstamps(ctxs, reply[3] if len(reply) > 3 else None)
         saliency = payload[0]
         ret_bytes = (saliency.nbytes if isinstance(saliency, np.ndarray)
                      else sum(m.nbytes for m in saliency))
@@ -482,14 +513,20 @@ class ProcessExecutor:
         return decode_results(payload), float(batch_ms)
 
     def _run_batch_shm(self, channel: _WorkerChannel, slot, method: str,
-                       images, labels, targets, keys) -> Tuple[list, float]:
+                       images, labels, targets, keys,
+                       ctxs=None, wire_ctxs=None) -> Tuple[list, float]:
         labels = np.asarray(labels, dtype=np.int64)
         if targets is not None:
             targets = np.asarray(targets, dtype=np.int64)
         pipe_out_bytes = 0
         out_desc, ret_desc = channel.arena.encode(slot, images)
-        self._send(channel, ("shm_batch", slot.index, method, out_desc,
-                             ret_desc, labels, targets, keys))
+        header = ("shm_batch", slot.index, method, out_desc,
+                  ret_desc, labels, targets, keys)
+        if wire_ctxs is not None:
+            # Context element appended only when present: context-free
+            # traffic keeps the pinned header framing byte-for-byte.
+            header = header + (wire_ctxs,)
+        self._send(channel, header)
         reply = self._wait_reply(channel, slot.index)
         if reply[0] == "shm_stale":
             # The worker could not attach the segment (external
@@ -500,8 +537,11 @@ class ProcessExecutor:
                        else np.stack(images))
             stacked = np.ascontiguousarray(stacked, dtype=np.float32)
             pipe_out_bytes = stacked.nbytes
-            self._send(channel, ("batch_slot", slot.index, method,
-                                 stacked, labels, targets, keys))
+            resend = ("batch_slot", slot.index, method,
+                      stacked, labels, targets, keys)
+            if wire_ctxs is not None:
+                resend = resend + (wire_ctxs,)
+            self._send(channel, resend)
             reply = self._wait_reply(channel, slot.index)
         if reply[0] == "error_slot":
             _, _slot, err_method, exc_type, text, remote_tb = reply
@@ -509,7 +549,9 @@ class ProcessExecutor:
         if reply[0] == "ok_pipe":
             # Fallback leg: stale resend, or a reply stack that outgrew
             # the return segment (the byte need grows it for next time).
-            _, _slot, payload, batch_ms, ret_need = reply
+            _, _slot, payload, batch_ms, ret_need = reply[:5]
+            self._apply_wstamps(ctxs,
+                                reply[5] if len(reply) > 5 else None)
             if ret_need:
                 self._stats.count_fallback("oversize")
                 channel.arena.note_ret_need(slot, ret_need)
@@ -519,7 +561,8 @@ class ProcessExecutor:
             self._stats.count_pipe(pipe_out_bytes + ret_bytes)
             return decode_results(payload), float(batch_ms)
         _, _slot, ret_shape, ret_dtype, out_labels, out_targets, metas, \
-            batch_ms = reply
+            batch_ms = reply[:8]
+        self._apply_wstamps(ctxs, reply[8] if len(reply) > 8 else None)
         view = channel.arena.ret_view(slot, ret_shape, ret_dtype)
         try:
             results = decode_shm_results(view, out_labels, out_targets,

@@ -62,6 +62,7 @@ import mmap
 import os
 import struct
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -267,6 +268,7 @@ class SaliencyStore:
         self.pending_hits = 0
         self.misses = 0
         self.hit_cost_ms = 0.0
+        self.tenant_hits: Dict[str, int] = {}
         self.writes = 0
         self.coalesced = 0
         self.write_drops = 0
@@ -320,6 +322,7 @@ class SaliencyStore:
         store.rebuilds = 0
         store.hits = store.pending_hits = store.misses = 0
         store.hit_cost_ms = 0.0
+        store.tenant_hits = {}
         store.writes = store.coalesced = store.write_drops = 0
         store.compactions = store.evictions = store.fsyncs = 0
         if snapshot is not None:
@@ -576,7 +579,7 @@ class SaliencyStore:
         with self._lock:
             return key in self._index or key in self._pending
 
-    def get(self, key: CacheKey
+    def get(self, key: CacheKey, tenant: Optional[str] = None
             ) -> Optional[Tuple[SaliencyResult, Optional[float]]]:
         """Tier-2 probe: ``(result, cost_ms)`` on a hit, ``None`` on a
         miss.  The result's arrays are fresh copies (float16 records
@@ -584,13 +587,15 @@ class SaliencyStore:
         is the persisted GDSF cost the caller should thread into its
         memory-tier insert so cost-aware eviction survives the restart.
         An entry still sitting in the write-behind queue is served from
-        memory (``pending_hits``)."""
+        memory (``pending_hits``).  ``tenant`` attributes the hit in
+        the per-tenant breakdown (``stats()["tenant_hits"]``)."""
         with self._lock:
             if self._closed:
                 raise StoreClosed("store is closed")
             pending = self._pending.get(key)
             if pending is not None:
                 self.pending_hits += 1
+                self._count_tenant_hit(tenant)
                 result, cost = pending
                 self.hit_cost_ms += cost or 0.0
                 copy = SaliencyResult(
@@ -632,8 +637,16 @@ class SaliencyStore:
                 self.hit_cost_ms -= entry.cost
                 self.misses += 1
             return None
+        with self._lock:
+            self._count_tenant_hit(tenant)
         _freeze_result(result)
         return result, cost
+
+    def _count_tenant_hit(self, tenant: Optional[str]) -> None:
+        """Attribute one hit to a tenant (lock held); anonymous probes
+        count only in the aggregate ``hits``/``pending_hits``."""
+        if tenant is not None:
+            self.tenant_hits[tenant] = self.tenant_hits.get(tenant, 0) + 1
 
     def put(self, key: CacheKey, result: SaliencyResult,
             cost_ms: Optional[float] = None) -> None:
@@ -664,7 +677,11 @@ class SaliencyStore:
         if self._flusher is None:
             self._drain_once()
             return
-        deadline = None if timeout is None else (os.times().elapsed
+        # time.monotonic(), not os.times().elapsed: the latter is a
+        # coarse (often 10ms-tick) process clock that os module docs
+        # don't even guarantee on every platform, and every other
+        # deadline in serve is a monotonic instant.
+        deadline = None if timeout is None else (time.monotonic()
                                                  + timeout)
         with self._wake:
             # _drain_active covers the window where the flusher popped
@@ -673,7 +690,7 @@ class SaliencyStore:
                    and not self._closed):
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - os.times().elapsed
+                    remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise TimeoutError("store flush timed out")
                 self._wake.wait(timeout=remaining if remaining else 0.05)
@@ -693,6 +710,7 @@ class SaliencyStore:
                 "pending_hits": self.pending_hits,
                 "misses": self.misses,
                 "hit_cost_ms": self.hit_cost_ms,
+                "tenant_hits": dict(self.tenant_hits),
                 "writes": self.writes,
                 "coalesced": self.coalesced,
                 "write_drops": self.write_drops,

@@ -61,7 +61,8 @@ except ImportError:                        # pragma: no cover - rare platform
 
 __all__ = ["TRANSPORTS", "ENV_TRANSPORT", "have_shared_memory",
            "resolve_transport", "ShmArena", "ArenaSlot", "ArenaClient",
-           "TransportStats", "attach_segment", "segment_base"]
+           "TransportStats", "attach_segment", "segment_base",
+           "pack_ctxs", "unpack_ctxs"]
 
 TRANSPORTS = ("auto", "shm", "pipe")
 ENV_TRANSPORT = "REPRO_SERVE_TRANSPORT"
@@ -106,6 +107,41 @@ def resolve_transport(requested: str = "auto") -> str:
 
 def _round_up(nbytes: int) -> int:
     return max(_PAGE, (int(nbytes) + _PAGE - 1) // _PAGE * _PAGE)
+
+
+# ----------------------------------------------------------------------
+# Compact request-context codec: what a batch message carries per
+# request so process workers can attribute work (tenant, priority) and
+# honour the cross-process deadline contract.  Stage timestamps never
+# cross the wire — the worker stamps its own recv/done pair and the
+# parent applies them to the live RequestContext objects on reply.
+def pack_ctxs(ctxs) -> Optional[Tuple]:
+    """Pack a batch's :class:`~repro.serve.context.RequestContext` list
+    into compact wire tuples ``(priority, deadline, tenant, trace_id)``.
+    Returns ``None`` when there is nothing worth shipping (no list, or
+    every element ``None``) so callers can keep the context-free
+    framings byte-for-byte."""
+    if ctxs is None or all(c is None for c in ctxs):
+        return None
+    return tuple(None if c is None
+                 else (c.priority, c.deadline, c.tenant, c.trace_id)
+                 for c in ctxs)
+
+
+def unpack_ctxs(wire) -> Optional[Tuple]:
+    """Validate/normalize a packed context tuple from the wire (the
+    worker consumes the tuples directly; this exists so both ends agree
+    on one schema and tests can pin it)."""
+    if wire is None:
+        return None
+    out = []
+    for entry in wire:
+        if entry is None:
+            out.append(None)
+            continue
+        priority, deadline, tenant, trace_id = entry
+        out.append((priority, deadline, tenant, trace_id))
+    return tuple(out)
 
 
 def segment_base(name: str) -> str:

@@ -130,28 +130,38 @@ class EngineSpec:
 # Payload codec: what actually crosses the pipe, in both directions.
 def encode_batch(method: str, images: np.ndarray, labels: np.ndarray,
                  targets: Optional[np.ndarray],
-                 keys: Optional[List[Tuple]] = None) -> Tuple:
+                 keys: Optional[List[Tuple]] = None,
+                 ctxs: Optional[Tuple] = None) -> Tuple:
     """Pack one micro-batch for the wire: contiguous float32 image
     stack, int64 labels, and the optional target array (``None`` when
     no request in the batch set a counter class).  ``keys`` carries the
     per-request cache keys when the worker holds a read-only saliency
     store to probe (parent-tier misses may still be store hits a worker
-    can serve without compute)."""
+    can serve without compute).  ``ctxs`` is the packed request-context
+    tuple (:func:`~repro.serve.transport.pack_ctxs`); it is appended
+    **only when present**, so context-free traffic keeps the pinned
+    PR 5/PR 8 framings byte-for-byte."""
     images = np.ascontiguousarray(images, dtype=np.float32)
     labels = np.asarray(labels, dtype=np.int64)
     if targets is not None:
         targets = np.asarray(targets, dtype=np.int64)
+    if ctxs is not None:
+        return ("batch", method, images, labels, targets, keys, ctxs)
     return ("batch", method, images, labels, targets, keys)
 
 
 def decode_batch(message: Tuple) -> Tuple[str, np.ndarray, np.ndarray,
                                           Optional[np.ndarray],
-                                          Optional[List[Tuple]]]:
+                                          Optional[List[Tuple]],
+                                          Optional[Tuple]]:
     if len(message) == 5:                  # keyless legacy framing
         _, method, images, labels, targets = message
-        return method, images, labels, targets, None
-    _, method, images, labels, targets, keys = message
-    return method, images, labels, targets, keys
+        return method, images, labels, targets, None, None
+    if len(message) == 6:                  # keyed, context-free
+        _, method, images, labels, targets, keys = message
+        return method, images, labels, targets, keys, None
+    _, method, images, labels, targets, keys, ctxs = message
+    return method, images, labels, targets, keys, ctxs
 
 
 def encode_results(results: List) -> Tuple:
@@ -283,12 +293,32 @@ def worker_main(conn, spec: EngineSpec) -> None:
     store = None
     arena_client = None
     batches = maps = store_hits = store_misses = 0
+    # Per-tenant / per-class map counts, fed by the packed request
+    # contexts riding context-aware batch messages (see pack_ctxs).
+    tenant_maps: Dict[str, int] = {}
+    priority_maps: Dict[str, int] = {}
+
+    def note_ctxs(ctxs) -> None:
+        if not ctxs:
+            return
+        for wire_ctx in ctxs:
+            if not wire_ctx:
+                continue
+            prio, _deadline, tenant, _trace = wire_ctx
+            priority_maps[prio] = priority_maps.get(prio, 0) + 1
+            if tenant is not None:
+                tenant_maps[tenant] = tenant_maps.get(tenant, 0) + 1
+
     try:
         while True:
             try:
                 message = conn.recv()
             except EOFError:               # parent went away: just exit
                 break
+            # Worker-side receive stamp (CLOCK_MONOTONIC is system-wide
+            # on Linux, so the parent can compare it with its own
+            # dispatch stamps on the same host).
+            recv_at = time.monotonic()
             kind = message[0]
             if kind == "stop":
                 break
@@ -296,6 +326,8 @@ def worker_main(conn, spec: EngineSpec) -> None:
                 conn.send(("stats", {"pid": os.getpid(),
                                      "batches": batches, "maps": maps,
                                      "plans": plan_cache.stats(),
+                                     "tenants": dict(tenant_maps),
+                                     "priorities": dict(priority_maps),
                                      "store": {"hits": store_hits,
                                                "misses": store_misses}}))
                 continue
@@ -314,8 +346,11 @@ def worker_main(conn, spec: EngineSpec) -> None:
                 continue
             if kind == "shm_batch":
                 # Header-only framing: the payload lives in the arena.
+                # Context-free senders (the pinned PR 8 framing) omit
+                # the trailing ctxs element.
+                ctxs = message[8] if len(message) > 8 else None
                 _, slot, method, out_desc, ret_desc, labels, targets, \
-                    keys = message
+                    keys = message[:8]
                 if arena_client is None:
                     from .transport import ArenaClient
                     arena_client = ArenaClient()
@@ -339,9 +374,15 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     store_misses += n_computed
                 batches += 1
                 maps += n_computed
+                note_ctxs(ctxs)
                 maps_out = [np.asarray(r.saliency, dtype=np.float32)
                             for r in results]
                 written = arena_client.write_ret(ret_desc, maps_out)
+                # Worker timestamps ride back only when the message
+                # carried contexts, so the pinned reply framings keep
+                # their exact arity for context-free traffic.
+                wstamps = ((os.getpid(), recv_at, time.monotonic())
+                           if ctxs is not None else None)
                 if written is None:
                     # Reply outgrew the return segment (or shapes are
                     # mixed): ship the pickle once, with the byte count
@@ -351,19 +392,24 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     need = (len(maps_out)
                             * int(np.prod(first, dtype=np.int64)) * 4
                             if uniform and maps_out else 0)
-                    conn.send(("ok_pipe", slot, encode_results(results),
-                               batch_ms, need))
+                    reply = ("ok_pipe", slot, encode_results(results),
+                             batch_ms, need)
+                    conn.send(reply + (wstamps,) if wstamps else reply)
                     continue
                 ret_shape, ret_dtype = written
-                conn.send(("ok_shm", slot, ret_shape, ret_dtype,
-                           [int(r.label) for r in results],
-                           [r.target_label for r in results],
-                           [r.meta for r in results], batch_ms))
+                reply = ("ok_shm", slot, ret_shape, ret_dtype,
+                         [int(r.label) for r in results],
+                         [r.target_label for r in results],
+                         [r.meta for r in results], batch_ms)
+                conn.send(reply + (wstamps,) if wstamps else reply)
                 continue
             if kind == "batch_slot":
                 # Pipe payload with slot routing: the fallback leg of
-                # the shm transport (stale header resend).
-                _, slot, method, images, labels, targets, keys = message
+                # the shm transport (stale header resend).  Context-free
+                # senders omit the trailing ctxs element.
+                ctxs = message[7] if len(message) > 7 else None
+                _, slot, method, images, labels, targets, keys = \
+                    message[:7]
                 try:
                     results, batch_ms, n_computed, n_served = _serve_batch(
                         explainers, plan_cache, store, method, images,
@@ -378,11 +424,18 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     store_misses += n_computed
                 batches += 1
                 maps += n_computed
-                conn.send(("ok_pipe", slot, encode_results(results),
-                           batch_ms, 0))
+                note_ctxs(ctxs)
+                wstamps = ((os.getpid(), recv_at, time.monotonic())
+                           if ctxs is not None else None)
+                reply = ("ok_pipe", slot, encode_results(results),
+                         batch_ms, 0)
+                conn.send(reply + (wstamps,) if wstamps else reply)
                 continue
-            # PR 5 pipe framing, byte-for-byte.
-            method, images, labels, targets, keys = decode_batch(message)
+            # PR 5 pipe framing, byte-for-byte (context-aware senders
+            # append a ctxs element; the reply then carries worker
+            # timestamps).
+            method, images, labels, targets, keys, ctxs = \
+                decode_batch(message)
             try:
                 results, batch_ms, n_computed, n_served = _serve_batch(
                     explainers, plan_cache, store, method, images,
@@ -396,7 +449,11 @@ def worker_main(conn, spec: EngineSpec) -> None:
                     store_misses += n_computed
                 batches += 1
                 maps += n_computed         # store hits did no compute
-                conn.send(("ok", encode_results(results), batch_ms))
+                note_ctxs(ctxs)
+                wstamps = ((os.getpid(), recv_at, time.monotonic())
+                           if ctxs is not None else None)
+                reply = ("ok", encode_results(results), batch_ms)
+                conn.send(reply + (wstamps,) if wstamps else reply)
     finally:
         plan_cache.close()
         if store is not None:

@@ -117,7 +117,8 @@ class TestBlockPolicy:
         ha = engine.submit_async(_img(0), 0, "a")
         hb = engine.submit_async(_img(1), 0, "b")
         with engine._lock:                 # age queue "a" past deadline
-            for request in engine._scheduler._queues[("a", (1, 4, 4))]:
+            for request in engine._scheduler._queues[
+                    ("a", (1, 4, 4), "normal")]:
                 request.enqueued_at -= 120.0
         engine.submit_async(_img(2), 0, "a")    # over limit: must block
         assert ha.done                     # ready queue was dispatched

@@ -25,8 +25,14 @@ actually lost, not subset.  Of the shared numeric leaves
 only two shapes gate, chosen because they are per-unit rates that stay
 comparable when the smoke run shrinks the workload:
 
-* ``seconds`` / ``*ms_per_image`` / ``*ms_per_map`` — timings, **lower
-  is better**: fail when ``current > threshold * baseline``.
+* ``seconds`` / ``*ms_per_image`` / ``*ms_per_map`` / ``*_p95_ms`` /
+  ``*_p99_ms`` — timings, **lower is better**: fail when
+  ``current > threshold * baseline``.  The tail-percentile suffixes
+  gate the SLO harness (``bench_slo``): per-class p95/p99 latencies are
+  per-request values that stay comparable when the smoke trace shrinks,
+  so a scheduling regression that fattens the interactive tail fails CI
+  even when mean throughput looks fine.  Medians (``*_p50_ms``) record
+  but do not gate — at smoke scale they sit within loop jitter.
 * ``*_rps`` — throughput, **higher is better**: fail when
   ``current < baseline / threshold``.  This suffix rule picks up new
   rate metrics with no changes here — e.g. ``bench_serve``'s nested
@@ -68,6 +74,11 @@ def _classify(key: str) -> str:
     """'time' (lower better), 'rate' (higher better), or '' (ignored)."""
     if key == "seconds" or key.endswith("ms_per_image") \
             or key.endswith("ms_per_map"):
+        return "time"
+    if key.endswith("_p95_ms") or key.endswith("_p99_ms"):
+        # Tail latencies from the SLO harness: per-request values, so
+        # they gate across workload scales just like per-unit timings.
+        # p50 deliberately ungated (jitter-bound at smoke scale).
         return "time"
     if key == "offered_rps":
         # Producer-side submission speed under policy="reject": most
@@ -133,12 +144,66 @@ def compare(baseline: Dict, current: Dict,
     return regressions, checked, missing
 
 
+def self_check() -> int:
+    """Unit-test the gating rules in-process (``--self-check``).
+
+    CI runs this before using the gate, so a rule edit that silently
+    stops gating (or starts gating a scale-dependent key) fails the job
+    at the tool itself rather than masking a perf regression later."""
+    cases = [
+        # (key, expected class)
+        ("seconds", "time"),
+        ("warm_ms_per_image", "time"),
+        ("gradcam_ms_per_map", "time"),
+        ("interactive_p95_ms", "time"),
+        ("bulk_p99_ms", "time"),
+        ("interactive_p50_ms", ""),       # medians never gate
+        ("p95_ms_total", ""),             # suffix, not substring
+        ("served_rps", "rate"),
+        ("offered_rps", ""),
+        ("tier1_warm_rps", ""),
+        ("deadline_miss_rate", ""),
+        ("n_requests", ""),
+    ]
+    failures = [f"  _classify({key!r}) = {_classify(key)!r}, "
+                f"expected {want!r}"
+                for key, want in cases if _classify(key) != want]
+    base = {"slo": {"interactive_p95_ms": 10.0, "served_rps": 100.0,
+                    "n_requests": 500}}
+    # 3x slower tail fails at 2.5x; missing rate key reports missing.
+    regs, checked, missing = compare(
+        base, {"slo": {"interactive_p95_ms": 30.0}}, 2.5)
+    if len(regs) != 1 or len(checked) != 1:
+        failures.append(f"  3x p95 regression not caught: {regs!r}")
+    if missing != ["slo.served_rps"]:
+        failures.append(f"  missing-key detection wrong: {missing!r}")
+    # Within threshold passes; count keys never compare.
+    regs, checked, _ = compare(
+        base, {"slo": {"interactive_p95_ms": 19.0, "served_rps": 80.0,
+                       "n_requests": 7}}, 2.5)
+    if regs or len(checked) != 2:
+        failures.append(f"  in-threshold run misjudged: regressions="
+                        f"{regs!r} checked={len(checked)}")
+    if failures:
+        print("check_bench --self-check: FAILED", file=sys.stderr)
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"check_bench --self-check: OK "
+          f"({len(cases)} classifier cases, 3 compare scenarios)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a bench smoke regresses its baseline "
                     "(see module docstring for what gates and why).")
-    parser.add_argument("baseline", help="committed BENCH_*.json")
-    parser.add_argument("current", help="freshly-written smoke JSON")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed BENCH_*.json")
+    parser.add_argument("current", nargs="?",
+                        help="freshly-written smoke JSON")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the built-in unit checks of the "
+                        "gating rules and exit (no input files)")
     parser.add_argument("--baseline-label", default="current",
                         help="entry in the baseline file (default: "
                         "'current', the latest committed run)")
@@ -154,6 +219,12 @@ def main() -> int:
                         "benchmark; leave off for deliberate subsets "
                         "(--only, --executor)")
     args = parser.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required "
+                     "(unless --self-check)")
 
     try:
         with open(args.baseline) as fh:
