@@ -1,0 +1,183 @@
+"""Loopback throughput/latency benchmark for the HTTP service tier.
+
+Starts the real daemon stack in-process (``repro.serve.http.serve``
+over a threaded-executor demo engine — the same wiring
+``tools/serve_daemon.py`` builds) and drives ``POST /v1/explain``
+closed-loop from ``--clients`` threads, each on its own keep-alive
+``http.client`` connection.  Requests rotate through a small image
+pool that a warmup pass has already pushed through the engine, so the
+timed window serves from the saliency cache and the numbers isolate
+the **wire cost** — JSON + base64 codec, per-connection handler
+threads, socket round trips — from explainer compute, which
+``bench_serve.py``/``bench_slo.py`` already gate in-process.  A
+regression here is a regression in the service tier itself.
+
+Records into the ``http`` section of ``BENCH_serve.json``:
+
+* ``http_rps`` — served requests/second (gated in CI as a rate: a
+  committed-baseline regression of more than the tolerance fails).
+* ``http_p95_ms`` — client-observed p95 round-trip latency (gated as
+  a time: lower is better).
+* ``http_p50_ms`` — recorded for context, never gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_http.py --label current
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import threading
+import time
+
+import numpy as np
+
+from repro.serve import ExplainEngine, ThreadedExecutor, demo_spec
+from repro.serve.http import ServiceConfig, encode_array, serve
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_serve.json")
+
+METHOD = "gradcam"
+SIDE = 16
+POOL = 32                              # distinct images in rotation
+
+
+def percentiles(values):
+    arr = np.asarray(values, dtype=np.float64)
+    return {name: float(np.percentile(arr, q))
+            for name, q in (("p50", 50), ("p95", 95), ("p99", 99))}
+
+
+def client_loop(host, port, bodies, n, latencies, errors, barrier,
+                offset):
+    """One closed-loop client: ``n`` requests over a keep-alive
+    connection, recording per-request round-trip milliseconds."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    barrier.wait()
+    try:
+        for i in range(n):
+            body = bodies[(offset + i) % len(bodies)]
+            start = time.perf_counter()
+            conn.request("POST", "/v1/explain", body,
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            resp.read()
+            if resp.status != 200:
+                errors.append(resp.status)
+            latencies.append((time.perf_counter() - start) * 1e3)
+    finally:
+        conn.close()
+
+
+def run(clients: int, per_client: int, workers: int):
+    spec = demo_spec((METHOD,))
+    classifier, explainers = spec.materialize()
+    engine = ExplainEngine(
+        classifier, explainers, max_batch=16, max_delay_ms=5.0,
+        cache_size=POOL * 2, max_pending=4 * clients * POOL,
+        policy="block",
+        executor=ThreadedExecutor(workers=workers))
+    daemon = serve(engine, port=0, config=ServiceConfig())
+    rng = np.random.default_rng(11)
+    bodies = [
+        json.dumps({"method": METHOD,
+                    "image": encode_array(
+                        rng.standard_normal((1, SIDE, SIDE))
+                        .astype(np.float32))}).encode()
+        for _ in range(POOL)
+    ]
+    latencies, errors = [], []
+    try:
+        # Warmup: populate the cache pool and warm both sides of the
+        # socket before the timed window.
+        client_loop(daemon.host, daemon.port, bodies, POOL, [], errors,
+                    threading.Barrier(1), 0)
+        barrier = threading.Barrier(clients + 1)
+        threads = [
+            threading.Thread(target=client_loop,
+                             args=(daemon.host, daemon.port, bodies,
+                                   per_client, latencies, errors,
+                                   barrier, i * 7))
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        stats = engine.stats()
+        daemon.drain()
+        daemon.shutdown()
+        engine.close()
+    if errors:
+        raise SystemExit(f"{len(errors)} non-200 responses: "
+                         f"{sorted(set(errors))}")
+    total = clients * per_client
+    return {
+        "rps": total / elapsed,
+        "latencies": latencies,
+        "elapsed_s": elapsed,
+        "requests": total,
+        "cache_hits": stats["cache_hits"],
+        "batches_run": stats["batches_run"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="entry name in the JSON (seed | current)")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent keep-alive client threads")
+    parser.add_argument("--per-client", type=int, default=100,
+                        help="requests each client sends")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="engine executor workers")
+    args = parser.parse_args()
+
+    result = run(args.clients, args.per_client, args.workers)
+    pcts = percentiles(result["latencies"])
+    print(f"{result['requests']} requests / {args.clients} clients: "
+          f"{result['rps']:.1f} req/s, "
+          f"p50 {pcts['p50']:.2f}ms p95 {pcts['p95']:.2f}ms "
+          f"({result['cache_hits']} cache hits, "
+          f"{result['batches_run']} batches)")
+
+    section = {
+        "clients": args.clients,
+        "requests": result["requests"],
+        "workers": args.workers,
+        "image_side": SIDE,
+        "pool": POOL,
+        "cache_hits": int(result["cache_hits"]),
+        "batches_run": int(result["batches_run"]),
+        "http_rps": round(result["rps"], 2),
+        "http_p50_ms": round(pcts["p50"], 3),
+        "http_p95_ms": round(pcts["p95"], 3),
+    }
+    doc = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            doc = json.load(fh)
+    entry = doc.setdefault(args.label, {})
+    entry["http"] = section
+    entry.setdefault("python", platform.python_version())
+    entry.setdefault("numpy", np.__version__)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} [{args.label}][http]")
+
+
+if __name__ == "__main__":
+    main()

@@ -215,6 +215,8 @@ class ExperimentContext:
                cache_size: int = 256, cache_shards: int = 4,
                eviction: str = "lru",
                max_pending: Optional[int] = None, policy: str = "block",
+               tenant_quota: Optional[int] = None,
+               tenant_quotas: Optional[dict] = None,
                executor=None, workers: Optional[int] = None,
                store=None, priority: bool = True,
                aging_ms: float = 1000.0):
@@ -247,12 +249,17 @@ class ExperimentContext:
         with ``priority`` on (default) ready queues flush
         interactive-before-bulk with starvation aging; off restores the
         legacy insertion-order flush.
+        ``tenant_quota``/``tenant_quotas`` bound each tenant's unique
+        unresolved requests (per-tenant fairness admission; over-quota
+        submits raise :class:`~repro.serve.TenantOverQuota`).
         """
         config = (include, max_batch, max_delay_ms, cache_size,
                   cache_shards, executor, min_batch, target_batch_ms,
                   eviction, max_pending, policy, workers,
                   None if store is None else os.fspath(store),
-                  priority, aging_ms)
+                  priority, aging_ms, tenant_quota,
+                  None if tenant_quotas is None
+                  else tuple(sorted(tenant_quotas.items())))
         if self._engine is None or self._engine[0] != config:
             from ..serve import ExplainEngine, make_executor
             if self._engine is not None:
@@ -287,6 +294,7 @@ class ExperimentContext:
                 min_batch=min_batch, target_batch_ms=target_batch_ms,
                 cache_size=cache_size, cache_shards=cache_shards,
                 eviction=eviction, max_pending=max_pending, policy=policy,
+                tenant_quota=tenant_quota, tenant_quotas=tenant_quotas,
                 executor=engine_executor, store=store,
                 priority=priority, aging_ms=aging_ms))
         return self._engine[1]

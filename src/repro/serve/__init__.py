@@ -9,12 +9,22 @@ The package splits the serving layer into four pieces:
   records the measured per-map compute cost, so a flood of cheap maps
   can't evict the few expensive ones.
 * :mod:`~repro.serve.scheduler` — :class:`MicroBatchScheduler`: pending
-  requests queue per ``(method, image_shape)`` (one engine serves
-  heterogeneous datasets) and identical ``(digest, method, label,
-  target)`` requests dedup onto one computation whose result fans out
-  to every attached handle.  With ``min_batch`` set, each queue's flush
-  limit adapts to its observed per-map latency (cheap methods batch
-  wide, expensive ones flush small).
+  requests queue per ``(method, image_shape, priority_class)`` (one
+  engine serves heterogeneous datasets, and an interactive request
+  never waits inside a bulk micro-batch) while identical ``(digest,
+  method, label, target)`` requests dedup onto one computation —
+  across classes — whose result fans out to every attached handle.
+  Ready queues flush in effective-rank order (class rank softened by
+  queue wait, so floods delay but never starve a class).  With
+  ``min_batch`` set, each queue's flush limit adapts to its observed
+  per-map latency (cheap methods batch wide, expensive ones flush
+  small).
+* :mod:`~repro.serve.context` — :class:`RequestContext`: the
+  per-request SLO envelope (priority class, optional absolute
+  deadline, tenant id, trace id) and stage-timestamp carrier every
+  entry point accepts as ``ctx=``; a deadline that passes while the
+  request is queued resolves it as :class:`DeadlineExceeded` without
+  billing compute.
 * :mod:`~repro.serve.executor` — :class:`SerialExecutor` (inline,
   deterministic), :class:`ThreadedExecutor` (persistent worker threads;
   the BLAS GEMMs inside ``explain_batch`` release the GIL, so
@@ -68,9 +78,18 @@ The package splits the serving layer into four pieces:
   admission-controlled: ``max_pending`` bounds unique unresolved
   requests, and an over-limit ``submit_async`` blocks for room
   (``policy="block"``) or raises :class:`EngineOverloaded`
-  (``policy="reject"``).  ``store=`` adds the persistent tier: misses
-  probe it before queueing compute, results write behind to it, and an
-  engine reopened on the same directory starts warm.
+  (``policy="reject"``), while ``tenant_quota`` / ``tenant_quotas``
+  bound each tenant's slice of that capacity (reject-only:
+  :class:`TenantOverQuota` carries a retry-after hint).  ``store=``
+  adds the persistent tier: misses probe it before queueing compute,
+  results write behind to it, and an engine reopened on the same
+  directory starts warm.
+* :mod:`~repro.serve.http` — the network front end: a stdlib
+  HTTP/JSON daemon over the engine (sync and ticket-based async
+  explain, batch, stats, health; API key -> tenant; engine exceptions
+  mapped onto 4xx/5xx).  Import it explicitly
+  (``from repro.serve.http import serve``) — the in-process runtime
+  never pays for it; ``tools/serve_daemon.py`` is the CLI.
 
 Quickstart
 ----------
@@ -102,7 +121,7 @@ from .cache import (EVICTION_POLICIES, CacheKey, SaliencyCache,
 from .context import (PRIORITIES, PRIORITY_RANK, DeadlineExceeded,
                       RequestContext)
 from .engine import (ADMISSION_POLICIES, EngineOverloaded, ExplainEngine,
-                     PendingExplain)
+                     PendingExplain, TenantOverQuota)
 from .executor import (ProcessExecutor, SerialExecutor, ThreadedExecutor,
                        default_worker_count, make_executor)
 from .plans import PlanCache
@@ -116,6 +135,7 @@ from .worker import (EngineSpec, WorkerBatchError, WorkerCrashed,
 
 __all__ = [
     "ExplainEngine", "PendingExplain", "EngineOverloaded",
+    "TenantOverQuota",
     "RequestContext", "DeadlineExceeded", "PRIORITIES", "PRIORITY_RANK",
     "ADMISSION_POLICIES", "EVICTION_POLICIES",
     "SaliencyCache", "ShardedSaliencyCache", "CacheKey",

@@ -154,11 +154,16 @@ class RequestContext:
         return PRIORITY_RANK[self.priority]
 
     def expired(self, now: Optional[float] = None) -> bool:
+        """True when the deadline has passed (``now`` defaults to
+        ``time.monotonic()``; pass one clock reading to evaluate many
+        contexts consistently).  Deadline-free contexts never expire."""
         if self.deadline is None:
             return False
         return (time.monotonic() if now is None else now) >= self.deadline
 
     def remaining_ms(self, now: Optional[float] = None) -> Optional[float]:
+        """Milliseconds until the deadline (negative once past it), or
+        ``None`` for deadline-free contexts."""
         if self.deadline is None:
             return None
         now = time.monotonic() if now is None else now

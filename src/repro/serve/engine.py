@@ -54,8 +54,8 @@ from .scheduler import ExplainRequest, MicroBatchScheduler, QueueKey
 from .store import SaliencyStore
 from .worker import WorkerCrashed
 
-__all__ = ["EngineOverloaded", "ExplainEngine", "PendingExplain",
-           "DeadlineExceeded", "RequestContext",
+__all__ = ["EngineOverloaded", "TenantOverQuota", "ExplainEngine",
+           "PendingExplain", "DeadlineExceeded", "RequestContext",
            "SaliencyCache", "image_digest", "request_key"]
 
 ADMISSION_POLICIES = ("block", "reject")
@@ -95,6 +95,44 @@ class EngineOverloaded(RuntimeError):
     batch failure rides along as ``__cause__`` and its requests stay
     queued for another retry).  A transient, fails-once batch recovers
     transparently inside the block."""
+
+
+class TenantOverQuota(EngineOverloaded):
+    """One tenant exhausted its per-tenant quota slice.
+
+    Raised by ``submit``/``submit_async`` when the submitting tenant
+    already holds ``quota`` unique unresolved requests, **regardless of
+    global capacity** — quota is a fairness bound, so a single tenant
+    flooding the engine is shed with this error while every other
+    tenant keeps being admitted.  Always a rejection (never a block,
+    even under ``policy="block"``): the tenant owns the retry, and
+    ``retry_after_s`` is the engine's backoff hint (the HTTP tier maps
+    this exception to ``429 Too Many Requests`` with a ``Retry-After``
+    header).
+
+    Attributes
+    ----------
+    tenant:
+        The over-quota tenant id.
+    held:
+        Unique unresolved requests the tenant held at rejection time.
+    quota:
+        The tenant's configured slice (``tenant_quotas[tenant]`` or the
+        engine-wide ``tenant_quota`` default).
+    retry_after_s:
+        Suggested client backoff in seconds.
+    """
+
+    def __init__(self, tenant: str, held: int, quota: int,
+                 retry_after_s: float):
+        super().__init__(
+            f"tenant {tenant!r} holds {held} unresolved request(s), "
+            f"quota is {quota}; rejected by per-tenant admission "
+            f"(retry after {retry_after_s:g}s)")
+        self.tenant = tenant
+        self.held = held
+        self.quota = quota
+        self.retry_after_s = retry_after_s
 
 
 class PendingExplain:
@@ -172,7 +210,7 @@ class ExplainEngine:
         ``name -> Explainer`` mapping (an
         :class:`~repro.explain.ExplainerSuite`'s ``explainers`` dict).
     max_batch:
-        Micro-batch size ceiling: a ``(method, shape)`` queue
+        Micro-batch size ceiling: a ``(method, shape, class)`` queue
         auto-flushes when its current limit of *unique* requests is
         pending (the limit is ``max_batch`` itself unless adaptive
         batching is on).
@@ -208,6 +246,23 @@ class ExplainEngine:
         What an over-limit ``submit_async`` does: ``"block"`` (default)
         waits on a condition variable until room frees; ``"reject"``
         raises :class:`EngineOverloaded` immediately.
+    tenant_quota:
+        Per-tenant fairness bound (default ``None`` — off): the most
+        unique unresolved requests any *single* tenant may hold, on
+        both the sync and async paths.  A submit that would exceed the
+        submitter's slice raises :class:`TenantOverQuota` immediately —
+        even under ``policy="block"``, and even when global capacity
+        remains — so one tenant's flood is shed while every other
+        tenant keeps being served.  Anonymous requests (no ``tenant``
+        on the context) are never quota'd; dedup attaches and cache
+        hits are always admitted (they add no work).
+    tenant_quotas:
+        Per-tenant overrides of ``tenant_quota`` (``tenant -> slice``).
+        A tenant listed here is quota'd even when ``tenant_quota`` is
+        ``None``.
+    quota_retry_after_s:
+        Backoff hint carried on :class:`TenantOverQuota` (and surfaced
+        as the HTTP tier's ``Retry-After``).
     executor:
         ``None``/``"serial"`` (inline, deterministic), ``"threaded"``
         (persistent worker threads), or an executor instance — e.g. a
@@ -257,6 +312,9 @@ class ExplainEngine:
                  cache_size: int = 256, cache_shards: int = 1,
                  eviction: str = "lru",
                  max_pending: Optional[int] = None, policy: str = "block",
+                 tenant_quota: Optional[int] = None,
+                 tenant_quotas: Optional[Dict[str, int]] = None,
+                 quota_retry_after_s: float = 1.0,
                  executor=None, plans: bool = True, store=None,
                  priority: bool = True, aging_ms: float = 1000.0):
         if max_pending is not None and max_pending < 1:
@@ -264,6 +322,12 @@ class ExplainEngine:
         if policy not in ADMISSION_POLICIES:
             raise ValueError(f"unknown admission policy {policy!r}; "
                              f"use one of {ADMISSION_POLICIES}")
+        quotas = dict(tenant_quotas or {})
+        for tenant, slice_ in [(None, tenant_quota), *quotas.items()]:
+            if slice_ is not None and slice_ < 1:
+                raise ValueError(
+                    f"tenant quota must be >= 1 (or None); got {slice_!r}"
+                    + (f" for tenant {tenant!r}" if tenant else ""))
         self.classifier = classifier
         self.explainers = dict(explainers)
         self.cache = ShardedSaliencyCache(cache_size, shards=cache_shards,
@@ -289,6 +353,16 @@ class ExplainEngine:
         self.admission_rejected = 0
         self.admission_blocked = 0
         self.admission_blocked_ms = 0.0
+        # Per-tenant quota/fairness admission: each quota'd tenant may
+        # hold at most its slice of unique unresolved requests (sync or
+        # async); the slices are tracked independently of the global
+        # max_pending budget so one tenant's flood is shed (429 at the
+        # HTTP tier) while the others keep being admitted.
+        self.tenant_quota = tenant_quota
+        self.tenant_quotas = quotas
+        self.quota_retry_after_s = quota_retry_after_s
+        self._tenant_unresolved: Dict[str, int] = {}
+        self.quota_rejected = 0
         self._closed = False
         # Batches handed to the executor but not yet completed; kick()
         # throttles ready dispatch to the executor's idle capacity so
@@ -446,8 +520,7 @@ class ExplainEngine:
                 "aging_ms": self._scheduler.aging_ms,
                 "priority_promotions": self._scheduler.promotions,
                 "deadline_expired": self.deadline_expired,
-                "tenants": {tenant: dict(counts) for tenant, counts
-                            in sorted(self._tenants.items())},
+                "tenants": self._tenant_stats_locked(),
                 "inflight": inflight,
                 "unresolved": self._unresolved,
                 "max_pending": self.max_pending,
@@ -455,6 +528,9 @@ class ExplainEngine:
                 "admission_rejected": self.admission_rejected,
                 "admission_blocked": self.admission_blocked,
                 "admission_blocked_ms": round(self.admission_blocked_ms, 3),
+                "tenant_quota": self.tenant_quota,
+                "tenant_quotas": dict(self.tenant_quotas),
+                "quota_rejected": self.quota_rejected,
                 "batch_limits": self._scheduler.batch_limits(),
                 "eviction": self.cache.policy,
                 "executor": self._executor.name,
@@ -463,6 +539,9 @@ class ExplainEngine:
             }
 
     def pending_count(self, method: Optional[str] = None) -> int:
+        """Unique requests currently queued (not yet dispatched) —
+        for one ``method`` or, with ``None``, across every queue.
+        In-flight batches are excluded; see ``stats()["inflight"]``."""
         with self._lock:
             return self._scheduler.pending_count(method)
 
@@ -653,6 +732,8 @@ class ExplainEngine:
             # the key gone from the in-flight map and hits the cache.
             self._scheduler.mark_complete(requests)
             self._unresolved -= sum(1 for r in requests if r.counted)
+            for request in requests:
+                self._release_tenant_slot(request)
             self._admission.notify_all()   # room freed: wake blocked submits
         # Write-behind enqueues run outside the engine lock: put() takes
         # the store lock, and a store mid-drain must never transitively
@@ -740,8 +821,58 @@ class ExplainEngine:
         if tenant is None:
             return
         entry = self._tenants.setdefault(
-            tenant, {"served": 0, "deadline_expired": 0})
+            tenant, {"served": 0, "deadline_expired": 0,
+                     "quota_rejected": 0})
+        entry.setdefault(field, 0)
         entry[field] += 1
+
+    def _tenant_stats_locked(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant counter snapshot (engine lock held): lifetime
+        served/expired/quota-rejected counts plus the live
+        ``unresolved`` footprint of every tenant currently holding a
+        quota slice."""
+        tenants = {tenant: dict(counts) for tenant, counts
+                   in sorted(self._tenants.items())}
+        for tenant, held in self._tenant_unresolved.items():
+            entry = tenants.setdefault(
+                tenant, {"served": 0, "deadline_expired": 0,
+                         "quota_rejected": 0})
+            entry["unresolved"] = held
+        return tenants
+
+    # -- per-tenant quota accounting (engine lock held throughout) -----
+    def _quota_for(self, tenant: Optional[str]) -> Optional[int]:
+        """The tenant's quota slice: its ``tenant_quotas`` override,
+        else the engine-wide ``tenant_quota`` default, else ``None``
+        (unbounded).  Anonymous requests are never quota'd."""
+        if tenant is None:
+            return None
+        return self.tenant_quotas.get(tenant, self.tenant_quota)
+
+    def _charge_tenant_slot(self, request: ExplainRequest,
+                            tenant: Optional[str]) -> None:
+        """Charge one unique new request against the tenant's slice
+        (no-op when the tenant carries no quota)."""
+        if self._quota_for(tenant) is None:
+            return
+        request.slot_tenant = tenant
+        self._tenant_unresolved[tenant] = (
+            self._tenant_unresolved.get(tenant, 0) + 1)
+
+    def _release_tenant_slot(self, request: ExplainRequest) -> None:
+        """Release a request's tenant-slice slot (idempotent).  Called
+        at every path that retires the unique request: batch
+        completion, deadline expiry, failed-batch dedup merge, and
+        sync-submit discard."""
+        tenant = request.slot_tenant
+        if tenant is None:
+            return
+        request.slot_tenant = None
+        held = self._tenant_unresolved.get(tenant, 0) - 1
+        if held > 0:
+            self._tenant_unresolved[tenant] = held
+        else:
+            self._tenant_unresolved.pop(tenant, None)
 
     def _resolve_expired_locked(self,
                                 expired: List[ExplainRequest]) -> None:
@@ -770,6 +901,7 @@ class ExplainEngine:
                     "deadline_expired")
             if request.counted:
                 freed += 1
+            self._release_tenant_slot(request)
         if freed:
             self._unresolved -= freed
             self._admission.notify_all()   # slots freed without compute
@@ -808,10 +940,20 @@ class ExplainEngine:
                     # released if the survivor already holds one).
                     freed = 0
                     for request in merged:
-                        if not request.counted:
-                            continue
                         newer = self._scheduler.lookup(queue_key,
                                                        request.key)
+                        # The tenant slice transfers the same way the
+                        # global slot does: the surviving duplicate now
+                        # carries the unique work.
+                        if (request.slot_tenant is not None
+                                and newer is not None
+                                and newer.slot_tenant is None):
+                            newer.slot_tenant = request.slot_tenant
+                            request.slot_tenant = None
+                        else:
+                            self._release_tenant_slot(request)
+                        if not request.counted:
+                            continue
                         if newer is not None and not newer.counted:
                             newer.counted = True
                         else:
@@ -1064,6 +1206,22 @@ class ExplainEngine:
                 return PendingExplain(self, method, cache_hit=True,
                                       _result=cached, ctx=ctx)
             family = (method, tuple(image.shape))
+            quota = self._quota_for(ctx.tenant)
+            if (quota is not None
+                    and self._scheduler.lookup(family, key) is None
+                    and self._tenant_unresolved.get(ctx.tenant, 0)
+                    >= quota):
+                # Per-tenant fairness gate, checked *before* the global
+                # admission bound: a tenant over its slice is rejected
+                # outright (never blocked) even while global capacity
+                # remains, so its flood sheds while other tenants'
+                # submits keep flowing.  Dedup attaches are exempt —
+                # they add no work.
+                self.quota_rejected += 1
+                self._count_tenant(ctx.tenant, "quota_rejected")
+                raise TenantOverQuota(
+                    ctx.tenant, self._tenant_unresolved[ctx.tenant],
+                    quota, self.quota_retry_after_s)
             if (dispatch_async and self.max_pending is not None
                     and self._scheduler.lookup(family, key) is None
                     and self._unresolved >= self.max_pending):
@@ -1104,6 +1262,10 @@ class ExplainEngine:
                 # sync submits flush inline and are self-limiting.
                 self._unresolved += 1
                 request.counted = True
+            if not _deduped:
+                # The tenant slice charges on both paths: it bounds a
+                # tenant's unresolved footprint however it arrived.
+                self._charge_tenant_slot(request, ctx.tenant)
             handle._request = request
         if ready:
             if dispatch_async:
@@ -1125,10 +1287,11 @@ class ExplainEngine:
                     with self._lock:
                         if (handle._result is None
                                 and len(request.handles) == 1
-                                and self._scheduler.discard(request)
-                                and request.counted):
-                            self._unresolved -= 1
-                            self._admission.notify_all()
+                                and self._scheduler.discard(request)):
+                            self._release_tenant_slot(request)
+                            if request.counted:
+                                self._unresolved -= 1
+                                self._admission.notify_all()
                     raise
         return handle
 
@@ -1203,7 +1366,18 @@ class ExplainEngine:
     def explain(self, image: np.ndarray, label: int, method: str,
                 target_label: Optional[int] = None,
                 ctx=None) -> SaliencyResult:
-        """Synchronous single-request path (submit + resolve)."""
+        """Synchronous single-request path (submit + resolve).
+
+        Returns the :class:`~repro.explain.base.SaliencyResult` for
+        ``image``/``label`` under ``method`` (optionally contrasted
+        against ``target_label``); equivalent to
+        ``submit(...).result()``, so it batches with whatever else is
+        queued.  Raises ``KeyError`` for an unknown method,
+        :class:`TenantOverQuota` when ``ctx.tenant`` is over its
+        slice, :class:`DeadlineExceeded` when ``ctx``'s deadline
+        passes before compute, and whatever a failing
+        ``explain_batch`` raised.
+        """
         return self.submit(image, label, method, target_label,
                            ctx=ctx).result()
 

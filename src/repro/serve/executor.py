@@ -66,6 +66,8 @@ class SerialExecutor:
     workers = 1
 
     def submit(self, fn: Callable, *args) -> "Future":
+        """Run ``fn(*args)`` inline; returns an already-resolved
+        future (result or exception — never pending)."""
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
@@ -116,6 +118,9 @@ class ThreadedExecutor:
                                         thread_name_prefix="explain-worker")
 
     def submit(self, fn: Callable, *args) -> "Future":
+        """Hand ``fn(*args)`` to the worker-thread pool; returns its
+        pending future.  Never raises on a full pool — backpressure is
+        the engine's admission layer, not the executor queue."""
         return self._pool.submit(fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:
@@ -666,6 +671,9 @@ class ProcessExecutor:
 
     # -- executor contract ---------------------------------------------
     def submit(self, fn: Callable, *args) -> "Future":
+        """Thread-pool passthrough for engine-side callables (cache
+        fan-out, bookkeeping).  Batch *compute* goes through
+        :meth:`run_batch` on a worker process instead."""
         return self._pool.submit(fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:

@@ -88,6 +88,12 @@ class ExplainRequest:
     #: ingested through the bounded async path); sync submits are
     #: self-limiting and never consume the ``max_pending`` budget.
     counted: bool = False
+    #: Tenant whose per-tenant quota slice this request occupies, or
+    #: ``None`` (anonymous, or no quota configured for the tenant).
+    #: Unlike ``counted`` this charges on *both* the sync and async
+    #: ingestion paths — a tenant's slice is a fairness bound on unique
+    #: unresolved work, however it arrived.
+    slot_tenant: Optional[str] = None
 
 
 class MicroBatchScheduler:

@@ -696,14 +696,22 @@ class SaliencyStore:
                 self._wake.wait(timeout=remaining if remaining else 0.05)
 
     def queue_depth_now(self) -> int:
+        """Entries currently waiting in the write-behind queue (0 on a
+        synchronous store); ``flush()`` drives it to zero."""
         with self._lock:
             return len(self._pending)
 
     def total_bytes(self) -> int:
+        """On-disk payload bytes across all segment files — the number
+        compaction holds under ``capacity_bytes``."""
         with self._lock:
             return sum(self._segments.values())
 
     def stats(self) -> Dict[str, object]:
+        """Store counters: hits/``pending_hits``/misses, inserts and
+        coalesced/dropped write-behind entries, compactions, entry and
+        byte totals, and per-tenant served counts.  Aggregated into
+        ``engine.stats()["store"]`` when the store is attached."""
         with self._lock:
             return {
                 "hits": self.hits,

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Docs link check: every relative markdown link must resolve.
+
+Scans the repo's user-facing markdown (``README.md`` and ``docs/``,
+plus any extra paths given on the command line) for inline links and
+images — ``[text](target)`` — and fails (exit 1) when a relative
+target does not exist on disk.  External links (``http://``,
+``https://``, ``mailto:``) are listed but not fetched: CI must not
+depend on the network, and a renamed file is the regression this guard
+is for.  ``#fragment`` suffixes are stripped before the existence
+check; pure-fragment links (``(#section)``) are skipped.
+
+Usage::
+
+    python tools/check_docs.py            # README.md + docs/*.md
+    python tools/check_docs.py FILE...    # explicit file list
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown link/image: [text](target) / ![alt](target).
+#: Targets with spaces + titles ("path 'title'") keep only the path.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+[\"'][^)]*[\"'])?\)")
+
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files():
+    files = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    files.extend(sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))))
+    return files
+
+
+def check_file(path: str):
+    """Yield ``(line_no, target)`` for every broken relative link."""
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as fh:
+        in_code = False
+        for line_no, line in enumerate(fh, 1):
+            # Fenced code blocks hold example snippets, not links.
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SCHEMES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    yield line_no, match.group(1)
+
+
+def main(argv=None) -> int:
+    files = (argv if argv else sys.argv[1:]) or default_files()
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    broken = 0
+    checked = 0
+    for path in files:
+        for line_no, target in check_file(path):
+            rel = os.path.relpath(path, REPO_ROOT)
+            print(f"check_docs: {rel}:{line_no}: broken link -> {target}")
+            broken += 1
+        checked += 1
+    if broken:
+        print(f"check_docs: FAIL — {broken} broken link(s) across "
+              f"{checked} file(s)")
+        return 1
+    print(f"check_docs: OK — {checked} file(s), all relative links "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
